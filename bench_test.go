@@ -1,0 +1,179 @@
+package vpr_test
+
+// One benchmark per table and figure of the paper, plus simulator
+// throughput benchmarks. Each experiment benchmark regenerates its
+// table/figure at a reduced instruction budget and reports the headline
+// number as a custom metric, so `go test -bench=.` both times the harness
+// and republishes the paper-shaped results.
+
+import (
+	"testing"
+
+	vpr "repro"
+)
+
+// benchInstr keeps benchmark iterations affordable; cmd/vptables uses
+// larger budgets for the published numbers.
+const benchInstr = 40_000
+
+func benchOpts() vpr.ExperimentOptions {
+	return vpr.ExperimentOptions{Instr: benchInstr}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		res, err := vpr.RunTable2(benchOpts(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = res.ImprovementPct
+	}
+	b.ReportMetric(imp, "improvement-%")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		sweep, err := vpr.RunFigure4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = sweep.MeanSpeedupAt(len(sweep.NRRs) - 1)
+	}
+	b.ReportMetric(mean, "speedup-at-max-NRR")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		sweep, err := vpr.RunFigure5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = sweep.MeanSpeedupAt(len(sweep.NRRs) - 1)
+	}
+	b.ReportMetric(mean, "speedup-at-max-NRR")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	var wb, issue float64
+	for i := 0; i < b.N; i++ {
+		rows, err := vpr.RunFigure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wb, issue = 0, 0
+		for _, r := range rows {
+			wb += r.WritebackSpeedup
+			issue += r.IssueSpeedup
+		}
+		wb /= float64(len(rows))
+		issue /= float64(len(rows))
+	}
+	b.ReportMetric(wb, "writeback-speedup")
+	b.ReportMetric(issue, "issue-speedup")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	var imp48, imp96 float64
+	for i := 0; i < b.N; i++ {
+		fig, err := vpr.RunFigure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp48 = fig.MeanImprovementAt(0)
+		imp96 = fig.MeanImprovementAt(2)
+	}
+	b.ReportMetric(imp48, "improvement-48regs-%")
+	b.ReportMetric(imp96, "improvement-96regs-%")
+}
+
+func BenchmarkPressureExample(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		for _, pt := range []vpr.AllocPoint{vpr.AllocDecode, vpr.AllocIssue, vpr.AllocWriteback} {
+			total += vpr.TotalPressure(vpr.ChainPressure(vpr.PaperExampleLatencies(), pt))
+		}
+	}
+	if total == 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkAblationEarlyRelease(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"compress", "swim"}
+	for i := 0; i < b.N; i++ {
+		if _, err := vpr.RunEarlyReleaseAblation(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDisambiguation(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"compress", "vortex"}
+	for i := 0; i < b.N; i++ {
+		if _, err := vpr.RunDisambiguationAblation(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Simulator throughput: simulated instructions per second per scheme, the
+// number that matters when scaling experiments up.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, scheme := range []vpr.Scheme{vpr.SchemeConventional, vpr.SchemeVPWriteback, vpr.SchemeVPIssue} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := vpr.DefaultConfig()
+			cfg.Scheme = scheme
+			var committed int64
+			for i := 0; i < b.N; i++ {
+				res, err := vpr.Run(vpr.RunSpec{Workload: "compress", Config: cfg, MaxInstr: benchInstr})
+				if err != nil {
+					b.Fatal(err)
+				}
+				committed += res.Stats.Committed
+			}
+			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instr/s")
+		})
+	}
+}
+
+// Golden-check overhead: the value-carrying checks are on by default; this
+// quantifies their cost next to a checks-off run.
+func BenchmarkValueCheckOverhead(b *testing.B) {
+	for _, check := range []bool{true, false} {
+		name := "on"
+		if !check {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := vpr.DefaultConfig()
+			cfg.ValueCheck = check
+			for i := 0; i < b.N; i++ {
+				if _, err := vpr.Run(vpr.RunSpec{Workload: "swim", Config: cfg, MaxInstr: benchInstr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSMTScaling regenerates the future-work study (paper §5): the VP
+// advantage under a shared register file across thread counts.
+func BenchmarkSMTScaling(b *testing.B) {
+	opts := benchOpts()
+	opts.Workloads = []string{"hydro2d"}
+	var one, two float64
+	for i := 0; i < b.N; i++ {
+		rows, err := vpr.RunSMTScaling([]int{1, 2}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		one, two = rows[0].ImprovementPct, rows[1].ImprovementPct
+	}
+	b.ReportMetric(one, "improvement-1T-%")
+	b.ReportMetric(two, "improvement-2T-%")
+}

@@ -1,0 +1,113 @@
+// Command vpsim runs a single simulation point: one workload, one renaming
+// scheme, one machine configuration. It is the low-level probe; use
+// vptables to regenerate whole paper tables and figures.
+//
+// Example:
+//
+//	vpsim -workload swim -scheme vp-wb -regs 64 -nrr 32 -instr 200000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "swim", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+		scheme   = flag.String("scheme", "conv", "renaming scheme: conv, vp-wb, vp-issue")
+		regs     = flag.Int("regs", 64, "physical registers per file")
+		nrr      = flag.Int("nrr", -1, "reserved registers (NRR); -1 means maximum (regs-32)")
+		instr    = flag.Int64("instr", 200000, "instructions to simulate")
+		penalty  = flag.Int("miss-penalty", 50, "cache miss penalty in cycles")
+		l2       = flag.Int("l2", 0, "finite L2 size in KB (0 = the paper's infinite L2)")
+		l2miss   = flag.Int("l2-miss-penalty", 150, "memory latency when the finite L2 also misses")
+		disamb   = flag.String("disamb", "speculative", "memory disambiguation: speculative, conservative")
+		early    = flag.Bool("early-release", false, "conventional scheme: enable the early-release ablation")
+		jsonOut  = flag.Bool("json", false, "emit statistics as JSON")
+		check    = flag.Bool("check", true, "enable golden-model value checks")
+		debug    = flag.Bool("debug", false, "run renamer invariant checks every cycle (slow)")
+	)
+	flag.Parse()
+
+	cfg := pipeline.DefaultConfig()
+	switch *scheme {
+	case "conv":
+		cfg.Scheme = core.SchemeConventional
+	case "vp-wb":
+		cfg.Scheme = core.SchemeVPWriteback
+	case "vp-issue":
+		cfg.Scheme = core.SchemeVPIssue
+	default:
+		fatalf("unknown scheme %q (want conv, vp-wb or vp-issue)", *scheme)
+	}
+	cfg.Rename.PhysRegs = *regs
+	if *nrr < 0 {
+		*nrr = cfg.Rename.MaxNRR()
+	}
+	cfg.Rename.NRRInt = *nrr
+	cfg.Rename.NRRFP = *nrr
+	cfg.Rename.EarlyRelease = *early
+	cfg.Cache.MissPenalty = *penalty
+	if *l2 > 0 {
+		cfg.Cache.L2Enabled = true
+		cfg.Cache.L2SizeBytes = *l2 * 1024
+		cfg.Cache.L2MissPenalty = *l2miss
+	}
+	cfg.ValueCheck = *check
+	cfg.Debug = *debug
+	switch *disamb {
+	case "speculative":
+		cfg.Disambiguation = pipeline.DisambSpeculative
+	case "conservative":
+		cfg.Disambiguation = pipeline.DisambConservative
+	default:
+		fatalf("unknown disambiguation %q", *disamb)
+	}
+
+	res, err := sim.Run(sim.Spec{Workload: *workload, Config: cfg, MaxInstr: *instr})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st := res.Stats
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Workload    string
+			Scheme      string
+			Regs, NRR   int
+			IPC         float64
+			BHTAccuracy float64
+			Stats       pipeline.Stats
+		}{*workload, *scheme, *regs, *nrr, st.IPC(), res.BHTAccuracy, st}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("workload   %s (%s scheme, %d regs/file, NRR=%d)\n", *workload, *scheme, *regs, *nrr)
+	fmt.Printf("IPC        %.3f   (%d instructions in %d cycles)\n", st.IPC(), st.Committed, st.Cycles)
+	fmt.Printf("exec/commit %.2f   re-executions %d, issue blocks %d\n", st.ExecPerCommit(), st.Reexecutions, st.IssueBlocks)
+	fmt.Printf("branches   %.1f%% mispredicted (%d/%d), BHT accuracy %.3f\n",
+		st.MispredictRate()*100, st.Mispredicts, st.CondBranches, res.BHTAccuracy)
+	fmt.Printf("cache      %.1f%% miss ratio (%d primary + %d merged / %d accesses), peak MSHRs %d\n",
+		st.MissRatio()*100, st.CacheMisses, st.CacheMergedMiss, st.CacheAccesses, st.PeakMSHRs)
+	fmt.Printf("memory     %d forwarded, %d violations (%d squashed), %d SB commit stalls\n",
+		st.LoadsForwarded, st.MemViolations, st.SquashedByMem, st.CommitSBStalls)
+	fmt.Printf("occupancy  ROB %.1f, IQ %.1f, int regs %.1f, fp regs %.1f\n",
+		st.AvgROB(), st.AvgIQ(), st.AvgIntRegs(), st.AvgFPRegs())
+	fmt.Printf("stalls     rename(regs) %d, ROB %d, IQ %d\n", st.RenameRegStall, st.ROBStalls, st.IQStalls)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

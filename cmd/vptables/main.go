@@ -1,0 +1,240 @@
+// Command vptables regenerates the paper's tables and figures (and this
+// repository's ablations) from scratch, printing the same rows and series
+// the paper reports.
+//
+//	vptables                  # everything, 200k instructions per run
+//	vptables -exp table2      # just Table 2 (with the 20-cycle footnote)
+//	vptables -exp fig4 -instr 500000
+//	vptables -exp ablation-release
+//
+// Writing EXPERIMENTS.md: vptables -exp all -md > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	vpr "repro"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(opts vpr.ExperimentOptions, md bool) error
+}
+
+var table = []experiment{
+	{"config", "paper Table 1 / §4.1 machine configuration", runConfig},
+	{"table2", "Table 2: conventional vs VP write-back, 64 regs, max NRR", runTable2},
+	{"fig4", "Figure 4: VP write-back speedup across NRR", runFig4},
+	{"fig5", "Figure 5: VP issue-allocation speedup across NRR", runFig5},
+	{"fig6", "Figure 6: write-back vs issue allocation", runFig6},
+	{"fig7", "Figure 7: IPC across 48/64/96 physical registers", runFig7},
+	{"pressure", "§3.1 worked example (analytic register pressure)", runPressure},
+	{"ablation-release", "ablation: conventional early register release", runAblRelease},
+	{"ablation-disamb", "ablation: speculative vs conservative disambiguation", runAblDisamb},
+	{"ablation-recovery", "ablation: recovery penalty sweep", runAblRecovery},
+	{"ablation-nrr-split", "ablation: NRRint != NRRfp", runAblSplit},
+	{"smt", "future work (§5): SMT scaling of the VP advantage", runSMT},
+	{"lifetime", "supplementary: §3.1 register-holding time, measured in vivo", runLifetime},
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: all, "+names())
+		instr    = flag.Int64("instr", 200_000, "instructions per simulation")
+		bench    = flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
+		md       = flag.Bool("md", false, "emit Markdown (for EXPERIMENTS.md)")
+		progress = flag.Bool("progress", false, "print per-run progress to stderr")
+	)
+	flag.Parse()
+
+	opts := vpr.ExperimentOptions{Instr: *instr}
+	if *bench != "" {
+		opts.Workloads = strings.Split(*bench, ",")
+	}
+	if *progress {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	ran := 0
+	for _, e := range table {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran++
+		if *md {
+			fmt.Printf("## %s — %s\n\n", e.name, e.desc)
+		} else {
+			fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		}
+		if err := e.run(opts, *md); err != nil {
+			fmt.Fprintf(os.Stderr, "vptables: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "vptables: unknown experiment %q (want all, %s)\n", *exp, names())
+		os.Exit(1)
+	}
+}
+
+func names() string {
+	var ns []string
+	for _, e := range table {
+		ns = append(ns, e.name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+func codeBlock(md bool, body string) {
+	if md {
+		fmt.Printf("```\n%s```\n", body)
+	} else {
+		fmt.Print(body)
+	}
+}
+
+func runConfig(vpr.ExperimentOptions, bool) error {
+	cfg := vpr.DefaultConfig()
+	fmt.Printf("fetch/decode/issue/commit width: %d/%d/%d/%d\n",
+		cfg.FetchWidth, cfg.DecodeWidth, cfg.IssueWidth, cfg.CommitWidth)
+	fmt.Printf("ROB %d, IQ %d\n", cfg.ROBSize, cfg.IQSize)
+	fmt.Printf("FUs: %d simple int (1), %d complex int (mul 9, div 67), %d eff-addr (1), %d simple FP (4), %d FP mul (4), %d FP div/sqrt (16)\n",
+		cfg.SimpleIntUnits, cfg.ComplexIntUnits, cfg.EffAddrUnits, cfg.SimpleFPUnits, cfg.FPMulUnits, cfg.FPDivUnits)
+	fmt.Printf("register files: %d logical + %d physical per file, %dR/%dW ports\n",
+		cfg.Rename.LogicalRegs, cfg.Rename.PhysRegs, cfg.RFReadPorts, cfg.RFWritePorts)
+	fmt.Printf("cache: %d KB direct-mapped, %dB lines, hit %d, miss +%d, %d MSHRs, %d ports, bus %d cycles/line\n",
+		cfg.Cache.SizeBytes/1024, cfg.Cache.LineBytes, cfg.Cache.HitLatency,
+		cfg.Cache.MissPenalty, cfg.Cache.MSHRs, cfg.CachePorts, cfg.Cache.BusCyclesPerLine)
+	fmt.Printf("BHT: %d entries, 2-bit counters; disambiguation: %s\n", cfg.BHTEntries, cfg.Disambiguation)
+	return nil
+}
+
+func runTable2(opts vpr.ExperimentOptions, md bool) error {
+	res, err := vpr.RunTable2(opts, true)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderTable2(res))
+	return nil
+}
+
+func runFig4(opts vpr.ExperimentOptions, md bool) error {
+	sweep, err := vpr.RunFigure4(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderNRRSweep(sweep))
+	return nil
+}
+
+func runFig5(opts vpr.ExperimentOptions, md bool) error {
+	sweep, err := vpr.RunFigure5(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderNRRSweep(sweep))
+	return nil
+}
+
+func runFig6(opts vpr.ExperimentOptions, md bool) error {
+	rows, err := vpr.RunFigure6(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderFigure6(rows))
+	return nil
+}
+
+func runFig7(opts vpr.ExperimentOptions, md bool) error {
+	fig, err := vpr.RunFigure7(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderFigure7(fig))
+	return nil
+}
+
+func runPressure(_ vpr.ExperimentOptions, md bool) error {
+	var b strings.Builder
+	lat := vpr.PaperExampleLatencies()
+	for _, pt := range []vpr.AllocPoint{vpr.AllocDecode, vpr.AllocIssue, vpr.AllocWriteback} {
+		ivs := vpr.ChainPressure(lat, pt)
+		fmt.Fprintf(&b, "%-10s total %3d register-cycles (", pt, vpr.TotalPressure(ivs))
+		for i, iv := range ivs {
+			if i > 0 {
+				fmt.Fprint(&b, ", ")
+			}
+			fmt.Fprintf(&b, "p%d: %d", i+1, iv.Cycles())
+		}
+		fmt.Fprintln(&b, ")")
+	}
+	fmt.Fprintln(&b, "paper: decode 151 (42/52/57), issue 88 (41/31/16), write-back 38 (21/11/6)")
+	codeBlock(md, b.String())
+	return nil
+}
+
+func runAblRelease(opts vpr.ExperimentOptions, md bool) error {
+	rows, err := vpr.RunEarlyReleaseAblation(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderAblation(rows, "releases/1k or exec/commit"))
+	return nil
+}
+
+func runAblDisamb(opts vpr.ExperimentOptions, md bool) error {
+	rows, err := vpr.RunDisambiguationAblation(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderAblation(rows, "violations/1k"))
+	return nil
+}
+
+func runAblRecovery(opts vpr.ExperimentOptions, md bool) error {
+	rows, err := vpr.RunRecoveryAblation(opts, nil)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderAblation(rows, "-"))
+	return nil
+}
+
+func runAblSplit(opts vpr.ExperimentOptions, md bool) error {
+	rows, err := vpr.RunSplitNRRAblation(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderAblation(rows, "-"))
+	return nil
+}
+
+func runLifetime(opts vpr.ExperimentOptions, md bool) error {
+	rows, err := vpr.RunLifetime(opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderLifetime(rows))
+	return nil
+}
+
+func runSMT(opts vpr.ExperimentOptions, md bool) error {
+	if len(opts.Workloads) == 0 {
+		// The full catalog × three thread counts is slow; the sharing
+		// story is told by a representative subset.
+		opts.Workloads = []string{"hydro2d", "mgrid", "swim", "compress", "go"}
+	}
+	rows, err := vpr.RunSMTScaling(nil, opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, vpr.RenderSMT(rows))
+	return nil
+}

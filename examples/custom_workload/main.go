@@ -1,0 +1,69 @@
+// Custom workload: write a kernel in the mini-ISA assembly, run it through
+// the functional emulator to get a golden trace, and compare all three
+// renaming schemes on it. The kernel here is SAXPY over arrays that miss in
+// the 16 KB L1 — a classic candidate for late register allocation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vpr "repro"
+)
+
+const saxpy = `
+        .data
+x:      .space 262144          ; 256 KB: streams miss in the 16 KB L1
+y:      .space 262144
+        .text
+        ldi   r9, 1000000      ; outer repetitions (trace is cut by MaxInstr)
+outer:  ldi   r1, x
+        ldi   r2, y
+        ldi   r4, 8192         ; elements per pass
+loop:   ldt   f1, 0(r1)        ; x[i]
+        ldt   f2, 0(r2)        ; y[i]
+        fmul  f3, f1, f10      ; a*x[i]
+        fadd  f4, f3, f2       ; a*x[i] + y[i]
+        fmul  f5, f1, f11      ; a second independent use of x[i]
+        fadd  f6, f5, f4
+        stt   0(r2), f6        ; y[i] = result
+        addi  r1, r1, 8
+        addi  r2, r2, 8
+        subi  r4, r4, 1
+        bne   r4, loop
+        subi  r9, r9, 1
+        bne   r9, outer
+        halt
+`
+
+func main() {
+	prog, err := vpr.Assemble("saxpy", saxpy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("saxpy on the paper's machine, 80k instructions, 64 regs/file:")
+	for _, scheme := range []vpr.Scheme{vpr.SchemeConventional, vpr.SchemeVPIssue, vpr.SchemeVPWriteback} {
+		gen, err := vpr.NewTrace(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := vpr.DefaultConfig()
+		cfg.Scheme = scheme
+		res, err := vpr.Run(vpr.RunSpec{
+			Gen:      vpr.TakeTrace(gen, 80_000),
+			Config:   cfg,
+			MaxInstr: 0, // the generator is already bounded
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats
+		fmt.Printf("  %-9s IPC %.3f  miss ratio %4.1f%%  avg FP regs %4.1f  exec/commit %.2f\n",
+			scheme.String()+":", st.IPC(), st.MissRatio()*100, st.AvgFPRegs(), st.ExecPerCommit())
+	}
+	fmt.Println("\nboth virtual-physical variants hold far fewer FP registers than the baseline;")
+	fmt.Println("on this kernel issue allocation's freedom from re-execution makes it competitive")
+	fmt.Println("with write-back allocation, while across the nine paper workloads write-back")
+	fmt.Println("wins clearly (run ./cmd/vptables -exp fig6).")
+}

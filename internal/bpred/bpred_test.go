@@ -1,0 +1,112 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInitialPredictionNotTaken(t *testing.T) {
+	b := New(DefaultEntries)
+	if b.Predict(0) || b.Predict(100) {
+		t.Error("fresh counters must predict not-taken")
+	}
+}
+
+func TestSaturationAndHysteresis(t *testing.T) {
+	b := New(16)
+	// Train strongly taken.
+	for i := 0; i < 10; i++ {
+		b.Update(5, true)
+	}
+	if !b.Predict(5) {
+		t.Fatal("should predict taken after training")
+	}
+	// One not-taken only weakens; the second flips.
+	b.Update(5, false)
+	if !b.Predict(5) {
+		t.Error("2-bit counter must survive one contrary outcome")
+	}
+	b.Update(5, false)
+	if b.Predict(5) {
+		t.Error("two contrary outcomes must flip the prediction")
+	}
+	// Saturation low: many not-takens then one taken shouldn't flip.
+	for i := 0; i < 10; i++ {
+		b.Update(5, false)
+	}
+	b.Update(5, true)
+	if b.Predict(5) {
+		t.Error("counter must saturate at zero")
+	}
+}
+
+func TestIndexingWraps(t *testing.T) {
+	b := New(8)
+	b.Update(3, true)
+	b.Update(3, true)
+	if !b.Predict(3 + 8) {
+		t.Error("pc 11 must alias pc 3 in an 8-entry table")
+	}
+	if b.Predict(4) {
+		t.Error("pc 4 is a different entry")
+	}
+}
+
+func TestRoundsUpToPowerOfTwo(t *testing.T) {
+	b := New(2000)
+	if len(b.counters) != 2048 {
+		t.Errorf("entries = %d, want 2048", len(b.counters))
+	}
+	if d := New(0); len(d.counters) != DefaultEntries {
+		t.Errorf("default entries = %d", len(d.counters))
+	}
+}
+
+func TestAccuracyBiasedBranch(t *testing.T) {
+	b := New(DefaultEntries)
+	// A 95%-taken branch should be predicted well above chance.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		b.Update(42, rng.Float64() < 0.95)
+	}
+	if acc := b.Accuracy(); acc < 0.85 {
+		t.Errorf("accuracy on 95%% biased branch = %.3f, want ≥ 0.85", acc)
+	}
+}
+
+func TestAccuracyRandomBranchNearChance(t *testing.T) {
+	b := New(DefaultEntries)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		b.Update(42, rng.Float64() < 0.5)
+	}
+	if acc := b.Accuracy(); acc < 0.3 || acc > 0.62 {
+		t.Errorf("accuracy on random branch = %.3f, want near 0.5", acc)
+	}
+}
+
+func TestLoopBranchOneMissPerExit(t *testing.T) {
+	// Classic 2-bit behaviour: an N-iteration loop mispredicts only the
+	// exit (and the first re-entry keeps predicting taken).
+	b := New(DefaultEntries)
+	b.Update(9, true)
+	b.Update(9, true) // warm to strongly-taken
+	warm := b.Lookups
+	warmCorrect := b.Correct
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 99; i++ {
+			b.Update(9, true)
+		}
+		b.Update(9, false) // exit
+	}
+	misses := (b.Lookups - warm) - (b.Correct - warmCorrect)
+	if misses != 10 {
+		t.Errorf("loop branch misses = %d, want exactly 10 (one per exit)", misses)
+	}
+}
+
+func TestAccuracyEmptyIsOne(t *testing.T) {
+	if New(8).Accuracy() != 1 {
+		t.Error("accuracy with no lookups must be 1")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// SharedPool owns the physical register files when several hardware
+// contexts share them — the paper's "future work" scenario: "in the context
+// of multithreaded architectures the benefits of the virtual-physical
+// register organization will be more important" (§5). Every renamer draws
+// registers from the pool; each keeps its own map tables, so threads have
+// private logical (and virtual-physical) namespaces over one shared
+// physical file per class.
+//
+// Deadlock avoidance generalizes per §3.3: the pool tracks the aggregate
+// outstanding reservation (Σ over threads of NRR − Used, per class) and
+// unprotected allocations must leave more registers free than that.
+//
+// Single-threaded configurations use a pool with one member, which reduces
+// exactly to the paper's original scheme.
+type SharedPool struct {
+	physRegs int
+	free     [2]*freeList
+	reserve  [2]int // Σ over VP members of (NRR − Used)
+	members  int
+	claimed  int // registers handed out for architectural state at attach
+}
+
+// NewSharedPool builds a pool with physRegs registers per class file.
+func NewSharedPool(physRegs int) *SharedPool {
+	if physRegs <= 0 {
+		panic("core: pool needs registers")
+	}
+	p := &SharedPool{physRegs: physRegs}
+	for f := 0; f < 2; f++ {
+		p.free[f] = newFreeList(0, physRegs)
+	}
+	return p
+}
+
+// PhysRegs returns the per-class file size.
+func (p *SharedPool) PhysRegs() int { return p.physRegs }
+
+// FreeCount returns the free registers in the class file.
+func (p *SharedPool) FreeCount(f int) int { return p.free[f].len() }
+
+// attach claims the architectural registers for one new context and, for
+// VP members, registers its reservation in the aggregate.
+func (p *SharedPool) attach(logical int, nrrInt, nrrFP int, vp bool) [2][]int {
+	need := 2 * logical
+	if p.free[0].len() < logical || p.free[1].len() < logical {
+		panic(fmt.Sprintf("core: pool of %d registers/file cannot back another context of %d logical (%d contexts attached)",
+			p.physRegs, logical, p.members))
+	}
+	var arch [2][]int
+	for f := 0; f < 2; f++ {
+		arch[f] = make([]int, logical)
+		for l := 0; l < logical; l++ {
+			arch[f][l] = p.free[f].pop()
+		}
+	}
+	if vp {
+		p.reserve[0] += nrrInt
+		p.reserve[1] += nrrFP
+		if p.free[0].len() < p.reserve[0] || p.free[1].len() < p.reserve[1] {
+			panic(fmt.Sprintf("core: pool cannot honour aggregate NRR reservation after attaching context %d", p.members))
+		}
+	}
+	p.members++
+	p.claimed += need
+	return arch
+}
+
+// mayAllocateUnprotected applies the generalized §3.3 guard: an
+// unprotected instruction may take a register only while more remain free
+// than every context's outstanding reservation combined.
+func (p *SharedPool) mayAllocateUnprotected(f int) bool {
+	return p.free[f].len() > p.reserve[f]
+}
+
+// adjustReserve moves the aggregate reservation when a member's Used
+// counter changes (delta = −1 when a protected instruction allocates,
+// +1 when one leaves the protected set without its register).
+func (p *SharedPool) adjustReserve(f, delta int) {
+	p.reserve[f] += delta
+	if p.reserve[f] < 0 {
+		panic("core: negative aggregate reservation")
+	}
+}
+
+// PoolMember is implemented by renamers that draw from a SharedPool; it
+// reports every physical register the member currently references.
+type PoolMember interface {
+	HeldRegisters(f int) []int
+}
+
+// CheckInvariants verifies that the free list and every member's held
+// registers partition each class file exactly.
+func (p *SharedPool) CheckInvariants(members ...PoolMember) error {
+	for f := 0; f < 2; f++ {
+		seen := make([]int, p.physRegs)
+		for _, r := range p.free[f].regs {
+			seen[r]++
+		}
+		for _, m := range members {
+			for _, r := range m.HeldRegisters(f) {
+				if r < 0 || r >= p.physRegs {
+					return fmt.Errorf("core: pool member holds out-of-range register %d", r)
+				}
+				seen[r]++
+			}
+		}
+		for r, n := range seen {
+			if n != 1 {
+				return fmt.Errorf("core: pool file %d register %d referenced %d times", f, r, n)
+			}
+		}
+	}
+	return nil
+}

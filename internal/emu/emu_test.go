@@ -1,0 +1,325 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, src string, limit int64) *Machine {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(limit); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatalf("program did not halt within %d steps", limit)
+	}
+	return m
+}
+
+func TestIntArithmetic(t *testing.T) {
+	m := run(t, `
+        ldi  r1, 7
+        ldi  r2, -3
+        add  r3, r1, r2    ; 4
+        sub  r4, r1, r2    ; 10
+        mul  r5, r1, r2    ; -21
+        div  r6, r5, r1    ; -3
+        rem  r7, r1, r2    ; 7 % -3 = 1
+        and  r8, r1, r2
+        xor  r9, r1, r2
+        slli r10, r1, 4    ; 112
+        srai r11, r2, 1    ; -2
+        srli r12, r2, 62   ; 3
+        cmplt r13, r2, r1  ; 1
+        cmplei r14, r1, 6  ; 0
+        halt
+`, 100)
+	want := map[int]int64{3: 4, 4: 10, 5: -21, 6: -3, 7: 1, 8: 7 & -3, 9: 7 ^ -3,
+		10: 112, 11: -2, 12: 3, 13: 1, 14: 0}
+	for reg, v := range want {
+		if got := int64(m.IntReg(reg)); got != v {
+			t.Errorf("r%d = %d, want %d", reg, got, v)
+		}
+	}
+}
+
+func TestDivideByZeroIsDefined(t *testing.T) {
+	m := run(t, `
+        ldi r1, 5
+        div r2, r1, r31
+        rem r3, r1, r31
+        halt
+`, 10)
+	if m.IntReg(2) != 0 || m.IntReg(3) != 0 {
+		t.Errorf("div/rem by zero = %d,%d, want 0,0", m.IntReg(2), m.IntReg(3))
+	}
+}
+
+func TestFPArithmetic(t *testing.T) {
+	m := run(t, `
+        .data
+v:      .double 2.0, 8.0, -1.0
+        .text
+        ldi  r1, v
+        ldt  f1, 0(r1)
+        ldt  f2, 8(r1)
+        ldt  f3, 16(r1)
+        fadd f4, f1, f2    ; 10
+        fsub f5, f1, f2    ; -6
+        fmul f6, f1, f2    ; 16
+        fdiv f7, f2, f1    ; 4
+        fsqrt f8, f2       ; sqrt(8)
+        fsqrt f9, f3       ; negative -> 0
+        fdiv  f10, f1, f31 ; div by zero -> 0
+        fcmplt f11, f1, f2 ; 1.0
+        cvtif f12, r1
+        fcvti r2, f7       ; 4
+        halt
+`, 100)
+	cases := []struct {
+		reg  int
+		want float64
+	}{
+		{4, 10}, {5, -6}, {6, 16}, {7, 4}, {8, math.Sqrt(8)}, {9, 0}, {10, 0}, {11, 1},
+		{12, float64(isa.DefaultDataBase)},
+	}
+	for _, c := range cases {
+		if got := m.FPReg(c.reg); got != c.want {
+			t.Errorf("f%d = %g, want %g", c.reg, got, c.want)
+		}
+	}
+	if m.IntReg(2) != 4 {
+		t.Errorf("fcvti = %d, want 4", m.IntReg(2))
+	}
+}
+
+func TestZeroRegistersDiscardWrites(t *testing.T) {
+	m := run(t, `
+        ldi r31, 55
+        ldi r1, 7
+        add r31, r1, r1
+        fadd f31, f31, f31
+        add r2, r31, r1
+        halt
+`, 10)
+	if m.IntReg(31) != 0 {
+		t.Error("r31 must stay zero")
+	}
+	if m.IntReg(2) != 7 {
+		t.Errorf("r2 = %d, want 7", m.IntReg(2))
+	}
+}
+
+func TestMemoryAndLoop(t *testing.T) {
+	// Sum 1..10 stored into memory by a first loop, read by a second.
+	m := run(t, `
+        .data
+arr:    .space 80
+        .text
+        ldi  r1, arr
+        ldi  r2, 1        ; value
+        ldi  r3, 10       ; count
+fill:   stq  0(r1), r2
+        addi r1, r1, 8
+        addi r2, r2, 1
+        subi r3, r3, 1
+        bne  r3, fill
+        ldi  r1, arr
+        ldi  r3, 10
+        ldi  r4, 0        ; sum
+sum:    ldq  r5, 0(r1)
+        add  r4, r4, r5
+        addi r1, r1, 8
+        subi r3, r3, 1
+        bne  r3, sum
+        halt
+`, 1000)
+	if m.IntReg(4) != 55 {
+		t.Errorf("sum = %d, want 55", m.IntReg(4))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := run(t, `
+        ldi  r1, 5
+        bsr  r26, double
+        mov  r2, r1        ; r1 = 10 now
+        bsr  r26, double
+        mov  r3, r1        ; 20
+        br   end
+double: add  r1, r1, r1
+        ret  r26
+end:    halt
+`, 100)
+	if m.IntReg(2) != 10 || m.IntReg(3) != 20 {
+		t.Errorf("r2,r3 = %d,%d, want 10,20", m.IntReg(2), m.IntReg(3))
+	}
+}
+
+func TestJSRIndirect(t *testing.T) {
+	m := run(t, `
+        ldi  r9, fn
+        jsr  r26, r9
+        br   end
+fn:     ldi  r1, 42
+        ret  r26
+end:    halt
+`, 100)
+	if m.IntReg(1) != 42 {
+		t.Errorf("r1 = %d, want 42", m.IntReg(1))
+	}
+}
+
+func TestBranchFlavors(t *testing.T) {
+	m := run(t, `
+        ldi r1, -1
+        ldi r10, 0
+        blt r1, a
+        ldi r10, 99       ; skipped
+a:      bge r1, bad
+        ldi r2, 0
+        beq r2, b
+        ldi r10, 99
+b:      ldi r3, 1
+        bgt r3, c
+        ldi r10, 99
+c:      ble r3, bad
+        fbeq f31, d
+        ldi r10, 99
+d:      halt
+bad:    ldi r10, 98
+        halt
+`, 100)
+	if m.IntReg(10) != 0 {
+		t.Errorf("r10 = %d, want 0 (a mispredicted branch path executed)", m.IntReg(10))
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	p, err := asm.Assemble("t", `
+        .data
+w:      .word 21
+        .text
+        ldi  r1, w
+        ldq  r2, 0(r1)
+        add  r3, r2, r2
+        beq  r31, skip
+        ldi  r4, 99
+skip:   stq  8(r1), r3
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewTraceGen(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := trace.Collect(gen, 100)
+	if gen.Err() != nil {
+		t.Fatal(gen.Err())
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5 (taken branch skips ldi)", len(recs))
+	}
+	ld := recs[1]
+	if ld.EA != isa.DefaultDataBase || ld.DstVal != 21 {
+		t.Errorf("load record = EA %#x val %d", ld.EA, ld.DstVal)
+	}
+	add := recs[2]
+	if add.Src1Val != 21 || add.Src2Val != 21 || add.DstVal != 42 {
+		t.Errorf("add record = %+v", add)
+	}
+	br := recs[3]
+	if !br.Taken || br.NextPC != 5 {
+		t.Errorf("branch record = taken %v next %d", br.Taken, br.NextPC)
+	}
+	st := recs[4]
+	if st.EA != isa.DefaultDataBase+8 || st.DstVal != 42 {
+		t.Errorf("store record = EA %#x val %d", st.EA, st.DstVal)
+	}
+	// Sequence numbers are consecutive.
+	for i, r := range recs {
+		if r.Seq != int64(i) {
+			t.Errorf("rec %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestUnalignedAccessFails(t *testing.T) {
+	p, err := asm.Assemble("t", `
+        ldi r1, 3
+        ldq r2, 0(r1)
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10); err == nil {
+		t.Fatal("unaligned load must error")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	p := asm.MustAssemble("t", "loop: br loop")
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Run(100)
+	if err != nil || n != 100 {
+		t.Fatalf("Run = %d,%v; want 100,nil", n, err)
+	}
+	if m.Halted() {
+		t.Error("infinite loop is not halted")
+	}
+}
+
+func TestImplicitHaltAtEnd(t *testing.T) {
+	m := run(t, "ldi r1, 1\nldi r2, 2", 10)
+	if m.IntReg(2) != 2 {
+		t.Error("both instructions should run before implicit halt")
+	}
+}
+
+func TestMemorySparse(t *testing.T) {
+	mem := NewMemory()
+	if v, err := mem.Load(0x8000_0000); err != nil || v != 0 {
+		t.Errorf("unmapped load = %d,%v", v, err)
+	}
+	if err := mem.Store(0x8000_0000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mem.Load(0x8000_0000); v != 7 {
+		t.Errorf("load-after-store = %d", v)
+	}
+	if mem.Footprint() != 1 {
+		t.Errorf("footprint = %d, want 1", mem.Footprint())
+	}
+	snap := mem.Snapshot()
+	if snap[0x8000_0000] != 7 || len(snap) != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if _, err := mem.Load(3); err == nil {
+		t.Error("unaligned load must error")
+	}
+	if err := mem.Store(3, 1); err == nil {
+		t.Error("unaligned store must error")
+	}
+}

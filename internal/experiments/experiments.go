@@ -1,0 +1,325 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§4.2), plus the ablations DESIGN.md lists. Each
+// runner sweeps internal/sim over the workload catalog and returns
+// structured results; rendering to the paper's row/series shapes lives in
+// report.go and is shared by cmd/vptables and EXPERIMENTS.md generation.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Options tune a whole experiment.
+type Options struct {
+	// Instr is the trace length per simulation (the paper used 50M;
+	// these kernels reach steady state far sooner).
+	Instr int64
+	// Workloads restricts the benchmark set (default: the full catalog).
+	Workloads []string
+	// Progress, when non-nil, receives a line per completed run.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workloads.Names()
+}
+
+func (o Options) instr() int64 {
+	if o.Instr > 0 {
+		return o.Instr
+	}
+	return 200_000
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// baseConfig is the paper's machine with the given scheme, register count
+// and NRR (applied to both files, as in §4.2).
+func baseConfig(scheme core.Scheme, physRegs, nrr int) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Rename.PhysRegs = physRegs
+	cfg.Rename.NRRInt = nrr
+	cfg.Rename.NRRFP = nrr
+	return cfg
+}
+
+// runOne executes a single workload × configuration point.
+func runOne(name string, cfg pipeline.Config, instr int64) (sim.Result, error) {
+	return sim.Run(sim.Spec{Workload: name, Config: cfg, MaxInstr: instr})
+}
+
+// Run is the generic cell evaluator used by the CLI for one-off points.
+func Run(name string, scheme core.Scheme, physRegs, nrr int, opts Options,
+	mutate func(*pipeline.Config)) (sim.Result, error) {
+	cfg := baseConfig(scheme, physRegs, nrr)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return runOne(name, cfg, opts.instr())
+}
+
+// --- Table 2 -------------------------------------------------------------------
+
+// Table2Row is one benchmark's line of Table 2.
+type Table2Row struct {
+	Workload       string
+	Class          string
+	ConvIPC        float64
+	VPIPC          float64
+	ImprovementPct float64
+	ExecPerCommit  float64 // VP write-back re-execution factor
+}
+
+// Table2 reproduces the paper's Table 2: conventional vs virtual-physical
+// (write-back allocation, NRR at maximum) with 64 physical registers per
+// file, plus the two footnotes (the 20-cycle miss-penalty variant and the
+// executions-per-committed-instruction factor).
+type Table2 struct {
+	Rows []Table2Row
+
+	HarmonicConv   float64
+	HarmonicVP     float64
+	ImprovementPct float64
+
+	// Penalty20ImprovementPct is the harmonic-mean improvement with a
+	// 20-cycle miss penalty (paper: 12% instead of 19%). Only filled
+	// when requested.
+	Penalty20ImprovementPct float64
+	HavePenalty20           bool
+
+	AvgExecPerCommit float64
+}
+
+// RunTable2 executes the experiment.
+func RunTable2(opts Options, withPenalty20 bool) (Table2, error) {
+	const physRegs = 64
+	nrr := physRegs - 32
+	var out Table2
+	var convIPCs, vpIPCs []float64
+	var execSum float64
+	for _, name := range opts.workloads() {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return out, fmt.Errorf("experiments: unknown workload %q", name)
+		}
+		conv, err := runOne(name, baseConfig(core.SchemeConventional, physRegs, nrr), opts.instr())
+		if err != nil {
+			return out, err
+		}
+		vp, err := runOne(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr())
+		if err != nil {
+			return out, err
+		}
+		row := Table2Row{
+			Workload:       name,
+			Class:          w.Class,
+			ConvIPC:        conv.Stats.IPC(),
+			VPIPC:          vp.Stats.IPC(),
+			ImprovementPct: improvementPct(conv.Stats.IPC(), vp.Stats.IPC()),
+			ExecPerCommit:  vp.Stats.ExecPerCommit(),
+		}
+		out.Rows = append(out.Rows, row)
+		convIPCs = append(convIPCs, row.ConvIPC)
+		vpIPCs = append(vpIPCs, row.VPIPC)
+		execSum += row.ExecPerCommit
+		opts.progress("table2 %-9s conv %.3f vp %.3f (%+.0f%%)", name, row.ConvIPC, row.VPIPC, row.ImprovementPct)
+	}
+	out.HarmonicConv = harmonicMean(convIPCs)
+	out.HarmonicVP = harmonicMean(vpIPCs)
+	out.ImprovementPct = improvementPct(out.HarmonicConv, out.HarmonicVP)
+	out.AvgExecPerCommit = execSum / float64(len(out.Rows))
+
+	if withPenalty20 {
+		var conv20, vp20 []float64
+		for _, name := range opts.workloads() {
+			mutate := func(cfg *pipeline.Config) { cfg.Cache.MissPenalty = 20 }
+			c := baseConfig(core.SchemeConventional, physRegs, nrr)
+			mutate(&c)
+			conv, err := runOne(name, c, opts.instr())
+			if err != nil {
+				return out, err
+			}
+			v := baseConfig(core.SchemeVPWriteback, physRegs, nrr)
+			mutate(&v)
+			vp, err := runOne(name, v, opts.instr())
+			if err != nil {
+				return out, err
+			}
+			conv20 = append(conv20, conv.Stats.IPC())
+			vp20 = append(vp20, vp.Stats.IPC())
+			opts.progress("table2/p20 %-9s conv %.3f vp %.3f", name, conv.Stats.IPC(), vp.Stats.IPC())
+		}
+		out.Penalty20ImprovementPct = improvementPct(harmonicMean(conv20), harmonicMean(vp20))
+		out.HavePenalty20 = true
+	}
+	return out, nil
+}
+
+// --- Figures 4 and 5 (NRR sweeps) -------------------------------------------------
+
+// PaperNRRs is the NRR set from figures 4 and 5.
+var PaperNRRs = []int{1, 4, 8, 16, 24, 32}
+
+// NRRSweep holds a speedup-vs-NRR figure: Speedup[workload][i] is
+// IPC(vp)/IPC(conv) at NRRs[i].
+type NRRSweep struct {
+	Scheme  core.Scheme
+	NRRs    []int
+	ConvIPC map[string]float64
+	Speedup map[string][]float64
+}
+
+// RunNRRSweep reproduces figure 4 (SchemeVPWriteback) or figure 5
+// (SchemeVPIssue): 64 physical registers, NRR swept over nrrs.
+func RunNRRSweep(scheme core.Scheme, nrrs []int, opts Options) (NRRSweep, error) {
+	const physRegs = 64
+	if len(nrrs) == 0 {
+		nrrs = PaperNRRs
+	}
+	out := NRRSweep{
+		Scheme:  scheme,
+		NRRs:    nrrs,
+		ConvIPC: map[string]float64{},
+		Speedup: map[string][]float64{},
+	}
+	for _, name := range opts.workloads() {
+		conv, err := runOne(name, baseConfig(core.SchemeConventional, physRegs, physRegs-32), opts.instr())
+		if err != nil {
+			return out, err
+		}
+		out.ConvIPC[name] = conv.Stats.IPC()
+		for _, nrr := range nrrs {
+			vp, err := runOne(name, baseConfig(scheme, physRegs, nrr), opts.instr())
+			if err != nil {
+				return out, err
+			}
+			sp := speedup(conv.Stats.IPC(), vp.Stats.IPC())
+			out.Speedup[name] = append(out.Speedup[name], sp)
+			opts.progress("%s %-9s nrr=%-2d speedup %.3f", scheme, name, nrr, sp)
+		}
+	}
+	return out, nil
+}
+
+// MeanSpeedupAt returns the arithmetic-mean speedup across workloads at
+// NRR index i (the way the paper quotes per-NRR averages).
+func (s NRRSweep) MeanSpeedupAt(i int) float64 {
+	var xs []float64
+	for _, sp := range s.Speedup {
+		xs = append(xs, sp[i])
+	}
+	return arithmeticMean(xs)
+}
+
+// --- Figure 6 (write-back vs issue) ------------------------------------------------
+
+// Fig6Row compares the two allocation policies at their best NRR.
+type Fig6Row struct {
+	Workload         string
+	WritebackSpeedup float64
+	IssueSpeedup     float64
+}
+
+// RunFigure6 reproduces figure 6: both policies at NRR=32 (the optimum the
+// paper found for both), speedup over the conventional scheme.
+func RunFigure6(opts Options) ([]Fig6Row, error) {
+	const physRegs = 64
+	nrr := physRegs - 32
+	var rows []Fig6Row
+	for _, name := range opts.workloads() {
+		conv, err := runOne(name, baseConfig(core.SchemeConventional, physRegs, nrr), opts.instr())
+		if err != nil {
+			return nil, err
+		}
+		wb, err := runOne(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr())
+		if err != nil {
+			return nil, err
+		}
+		iss, err := runOne(name, baseConfig(core.SchemeVPIssue, physRegs, nrr), opts.instr())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{
+			Workload:         name,
+			WritebackSpeedup: speedup(conv.Stats.IPC(), wb.Stats.IPC()),
+			IssueSpeedup:     speedup(conv.Stats.IPC(), iss.Stats.IPC()),
+		})
+		opts.progress("fig6 %-9s wb %.3f issue %.3f", name, rows[len(rows)-1].WritebackSpeedup, rows[len(rows)-1].IssueSpeedup)
+	}
+	return rows, nil
+}
+
+// --- Figure 7 (register-count sweep) -----------------------------------------------
+
+// PaperRegCounts is the register sweep of figure 7; NRR is kept at its
+// maximum (count − 32), as the paper does (16, 32 and 64 respectively).
+var PaperRegCounts = []int{48, 64, 96}
+
+// Fig7Cell is one bar of figure 7.
+type Fig7Cell struct {
+	ConvIPC float64
+	VPIPC   float64
+}
+
+// Fig7 holds figure 7: Cells[workload][i] for RegCounts[i].
+type Fig7 struct {
+	RegCounts []int
+	Cells     map[string][]Fig7Cell
+}
+
+// RunFigure7 reproduces figure 7.
+func RunFigure7(opts Options) (Fig7, error) {
+	out := Fig7{RegCounts: PaperRegCounts, Cells: map[string][]Fig7Cell{}}
+	for _, name := range opts.workloads() {
+		for _, regs := range out.RegCounts {
+			nrr := regs - 32
+			conv, err := runOne(name, baseConfig(core.SchemeConventional, regs, nrr), opts.instr())
+			if err != nil {
+				return out, err
+			}
+			vp, err := runOne(name, baseConfig(core.SchemeVPWriteback, regs, nrr), opts.instr())
+			if err != nil {
+				return out, err
+			}
+			out.Cells[name] = append(out.Cells[name], Fig7Cell{ConvIPC: conv.Stats.IPC(), VPIPC: vp.Stats.IPC()})
+			opts.progress("fig7 %-9s regs=%-2d conv %.3f vp %.3f", name, regs, conv.Stats.IPC(), vp.Stats.IPC())
+		}
+	}
+	return out, nil
+}
+
+// MeanImprovementAt returns the average VP improvement (percent) across
+// workloads at register-count index i, using harmonic-mean IPCs as in the
+// paper's summary.
+func (f Fig7) MeanImprovementAt(i int) float64 {
+	var conv, vp []float64
+	for _, cells := range f.Cells {
+		conv = append(conv, cells[i].ConvIPC)
+		vp = append(vp, cells[i].VPIPC)
+	}
+	return improvementPct(harmonicMean(conv), harmonicMean(vp))
+}
+
+// HarmonicIPCAt returns the harmonic-mean IPCs (conv, vp) at register-count
+// index i.
+func (f Fig7) HarmonicIPCAt(i int) (float64, float64) {
+	var conv, vp []float64
+	for _, cells := range f.Cells {
+		conv = append(conv, cells[i].ConvIPC)
+		vp = append(vp, cells[i].VPIPC)
+	}
+	return harmonicMean(conv), harmonicMean(vp)
+}

@@ -1,0 +1,137 @@
+package isa
+
+// Binary instruction encoding. The simulator itself works on decoded
+// instructions, but a fixed 64-bit encoding is provided so programs can be
+// stored compactly (trace files, program images) and because a real ISA
+// defines one. The format packs every operand field of Inst losslessly:
+//
+//	bits  0..7   opcode
+//	bits  8..9   dst class    bits 10..15  dst index
+//	bits 16..17  src1 class   bits 18..23  src1 index
+//	bits 24..25  src2 class   bits 26..31  src2 index
+//	bits 32..55  imm24: signed 24-bit immediate (see below)
+//	bits 56..63  reserved (zero)
+//
+// Immediates exceeding 24 bits and branch targets are carried in an
+// optional 64-bit extension word; bit 55 of imm24 space cannot express
+// them. Encode returns the words; instructions whose immediate fits and
+// that have no target need only the first.
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	immBits = 24
+	immMax  = 1<<(immBits-1) - 1
+	immMin  = -1 << (immBits - 1)
+)
+
+// ErrNeedsExtension reports that DecodeWord saw an instruction that
+// requires its extension word.
+var ErrNeedsExtension = errors.New("isa: instruction requires an extension word")
+
+// Encode packs the instruction into one or two 64-bit words. The second
+// word is present when the immediate does not fit in 24 bits or the
+// instruction is a direct branch (targets are word-indexed PCs and get the
+// full 64 bits).
+func Encode(in Inst) (words []uint64, err error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	info := in.Op.Info()
+	needExt := in.Imm > immMax || in.Imm < immMin || (info.IsBranch && !info.IsIndirect)
+
+	w := uint64(in.Op)
+	w |= uint64(in.Dst.Class&3) << 8
+	w |= uint64(in.Dst.Index&63) << 10
+	w |= uint64(in.Src1.Class&3) << 16
+	w |= uint64(in.Src1.Index&63) << 18
+	w |= uint64(in.Src2.Class&3) << 24
+	w |= uint64(in.Src2.Index&63) << 26
+	if !needExt {
+		w |= (uint64(in.Imm) & (1<<immBits - 1)) << 32
+		return []uint64{w}, nil
+	}
+	w |= 1 << 56 // extension marker
+	ext := uint64(in.Imm)
+	if info.IsBranch && !info.IsIndirect {
+		// Branches carry the target; their immediate is unused.
+		ext = uint64(int64(in.Target))
+	}
+	return []uint64{w, ext}, nil
+}
+
+// DecodeWord unpacks one or two words produced by Encode. It returns the
+// number of words consumed. When the first word requires an extension and
+// words contains only one element, it returns ErrNeedsExtension.
+func DecodeWord(words []uint64) (Inst, int, error) {
+	if len(words) == 0 {
+		return Inst{}, 0, errors.New("isa: no words to decode")
+	}
+	w := words[0]
+	in := Inst{
+		Op:     Opcode(w & 0xFF),
+		Dst:    Reg{Class: RegClass(w >> 8 & 3), Index: uint8(w >> 10 & 63)},
+		Src1:   Reg{Class: RegClass(w >> 16 & 3), Index: uint8(w >> 18 & 63)},
+		Src2:   Reg{Class: RegClass(w >> 24 & 3), Index: uint8(w >> 26 & 63)},
+		Target: -1,
+	}
+	info := in.Op.Info()
+	if info.Name == "" {
+		return Inst{}, 0, fmt.Errorf("isa: unknown opcode %d in encoded word", w&0xFF)
+	}
+	n := 1
+	if w>>56&1 != 0 {
+		if len(words) < 2 {
+			return Inst{}, 0, ErrNeedsExtension
+		}
+		ext := words[1]
+		if info.IsBranch && !info.IsIndirect {
+			in.Target = int(int64(ext))
+		} else {
+			in.Imm = int64(ext)
+		}
+		n = 2
+	} else {
+		// Sign-extend the 24-bit immediate.
+		raw := int64(w >> 32 & (1<<immBits - 1))
+		if raw > immMax {
+			raw -= 1 << immBits
+		}
+		in.Imm = raw
+	}
+	if err := in.Validate(); err != nil {
+		return Inst{}, 0, err
+	}
+	return in, n, nil
+}
+
+// EncodeProgram packs every instruction of a program into a flat word
+// stream.
+func EncodeProgram(insts []Inst) ([]uint64, error) {
+	var out []uint64
+	for pc, in := range insts {
+		words, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("isa: pc %d: %w", pc, err)
+		}
+		out = append(out, words...)
+	}
+	return out, nil
+}
+
+// DecodeProgram unpacks a word stream produced by EncodeProgram.
+func DecodeProgram(words []uint64) ([]Inst, error) {
+	var out []Inst
+	for i := 0; i < len(words); {
+		in, n, err := DecodeWord(words[i:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		out = append(out, in)
+		i += n
+	}
+	return out, nil
+}

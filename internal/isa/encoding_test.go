@@ -1,0 +1,150 @@
+package isa
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeBasics(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, Dst: IntReg(1), Src1: IntReg(2), Src2: IntReg(3), Target: -1},
+		{Op: ADDI, Dst: IntReg(4), Src1: IntReg(5), Imm: -9, Target: -1},
+		{Op: LDI, Dst: IntReg(6), Imm: 1 << 20, Target: -1},
+		{Op: LDQ, Dst: IntReg(7), Src1: IntReg(8), Imm: 4088, Target: -1},
+		{Op: STT, Src1: IntReg(9), Src2: FPReg(10), Imm: -8, Target: -1},
+		{Op: FDIV, Dst: FPReg(1), Src1: FPReg(2), Src2: FPReg(3), Target: -1},
+		{Op: NOP, Target: -1},
+		{Op: RET, Src1: IntReg(26), Target: -1},
+	}
+	for _, in := range cases {
+		words, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if len(words) != 1 {
+			t.Errorf("%v: expected single-word encoding, got %d words", in, len(words))
+		}
+		got, n, err := DecodeWord(words)
+		if err != nil || n != len(words) {
+			t.Fatalf("%v: decode: %v (n=%d)", in, err, n)
+		}
+		if got != in {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+		}
+	}
+}
+
+func TestEncodeExtensionWord(t *testing.T) {
+	// Large immediates and branch targets need the extension word.
+	cases := []Inst{
+		{Op: LDI, Dst: IntReg(1), Imm: math.MaxInt64, Target: -1},
+		{Op: LDI, Dst: IntReg(1), Imm: math.MinInt64, Target: -1},
+		{Op: LDI, Dst: IntReg(1), Imm: 1 << 30, Target: -1},
+		{Op: BEQ, Src1: IntReg(2), Target: 123456},
+		{Op: BR, Target: 0},
+		{Op: BSR, Dst: IntReg(26), Target: 7},
+	}
+	for _, in := range cases {
+		words, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if len(words) != 2 {
+			t.Fatalf("%v: expected extension word, got %d words", in, len(words))
+		}
+		got, n, err := DecodeWord(words)
+		if err != nil || n != 2 {
+			t.Fatalf("%v: decode: %v (n=%d)", in, err, n)
+		}
+		if got != in {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+		}
+		// Truncated stream reports the need explicitly.
+		if _, _, err := DecodeWord(words[:1]); !errors.Is(err, ErrNeedsExtension) {
+			t.Errorf("%v: truncation should report ErrNeedsExtension, got %v", in, err)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(Inst{Op: ADD, Dst: FPReg(1), Src1: IntReg(2), Src2: IntReg(3)}); err == nil {
+		t.Error("invalid instruction must not encode")
+	}
+	if _, _, err := DecodeWord([]uint64{250}); err == nil {
+		t.Error("unknown opcode must not decode")
+	}
+	if _, _, err := DecodeWord(nil); err == nil {
+		t.Error("empty stream must not decode")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	prog := []Inst{
+		{Op: LDI, Dst: IntReg(1), Imm: 10, Target: -1},
+		{Op: SUBI, Dst: IntReg(1), Src1: IntReg(1), Imm: 1, Target: -1},
+		{Op: BNE, Src1: IntReg(1), Target: 1},
+		{Op: HALT, Target: -1},
+	}
+	words, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One extension word for the branch.
+	if len(words) != len(prog)+1 {
+		t.Errorf("encoded %d words, want %d", len(words), len(prog)+1)
+	}
+	got, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d instructions", len(got))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Errorf("inst %d: %+v != %+v", i, got[i], prog[i])
+		}
+	}
+	// Corrupt stream fails loudly.
+	words[0] = 255
+	if _, err := DecodeProgram(words); err == nil {
+		t.Error("corrupt program must not decode")
+	}
+}
+
+// Property: every valid instruction the generator can produce survives the
+// encode/decode round trip exactly.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	ops := []Opcode{ADD, SUB, ADDI, LDI, LDQ, STQ, LDT, STT, FADD, FMUL, FDIV, MUL, DIV, BEQ, BNE, BR, BSR, JSR, RET, NOP, CVTIF, FCVTI}
+	f := func(opSel, d, s1, s2 uint8, imm int64, tgt uint16) bool {
+		op := ops[int(opSel)%len(ops)]
+		info := op.Info()
+		in := Inst{Op: op, Target: -1}
+		if info.DstClass != RegNone {
+			in.Dst = Reg{Class: info.DstClass, Index: d % 32}
+		}
+		if info.Src1Class != RegNone {
+			in.Src1 = Reg{Class: info.Src1Class, Index: s1 % 32}
+		}
+		if info.Src2Class != RegNone {
+			in.Src2 = Reg{Class: info.Src2Class, Index: s2 % 32}
+		}
+		if info.HasImm {
+			in.Imm = imm
+		}
+		if info.IsBranch && !info.IsIndirect {
+			in.Target = int(tgt)
+		}
+		words, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeWord(words)
+		return err == nil && n == len(words) && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

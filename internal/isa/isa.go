@@ -1,0 +1,203 @@
+// Package isa defines the mini Alpha-like instruction set simulated by this
+// repository: 32 integer and 32 floating-point logical registers (the last of
+// each hardwired to zero, as on the Alpha), a load/store architecture with
+// 8-byte memory words, and an opcode set whose functional-unit classes and
+// latencies follow Table 1 of González, González and Valero, "Virtual-Physical
+// Registers" (HPCA 1998).
+//
+// Instructions are kept in a decoded structural form: the simulator never
+// encodes to or decodes from machine words, so immediates and branch targets
+// are plain integers.
+package isa
+
+import "fmt"
+
+// Architectural constants. Each register file has NumLogical registers and
+// the highest-numbered register of each file reads as zero and discards
+// writes, mirroring the Alpha's r31/f31.
+const (
+	NumLogical = 32 // logical registers per file (int and FP alike)
+	ZeroReg    = 31 // index of the hardwired-zero register in both files
+
+	// WordSize is the size in bytes of every memory access. The ISA has
+	// only 8-byte aligned loads and stores, which keeps memory
+	// disambiguation an exact address-equality test.
+	WordSize = 8
+)
+
+// RegClass identifies which register file (if any) a register belongs to.
+type RegClass uint8
+
+// Register file classes.
+const (
+	RegNone RegClass = iota // no register (absent operand)
+	RegInt                  // integer file
+	RegFP                   // floating-point file
+)
+
+// String returns a short human-readable name for the class.
+func (c RegClass) String() string {
+	switch c {
+	case RegNone:
+		return "none"
+	case RegInt:
+		return "int"
+	case RegFP:
+		return "fp"
+	default:
+		return fmt.Sprintf("RegClass(%d)", uint8(c))
+	}
+}
+
+// Reg names one architectural (logical) register, or no register at all when
+// Class is RegNone. The zero value is "no register".
+type Reg struct {
+	Class RegClass
+	Index uint8
+}
+
+// Convenience constructors for the two files.
+
+// IntReg returns the integer register with the given index.
+func IntReg(i int) Reg { return Reg{Class: RegInt, Index: uint8(i)} }
+
+// FPReg returns the floating-point register with the given index.
+func FPReg(i int) Reg { return Reg{Class: RegFP, Index: uint8(i)} }
+
+// NoReg is the absent operand.
+var NoReg = Reg{}
+
+// Valid reports whether r names an actual register in range.
+func (r Reg) Valid() bool {
+	return (r.Class == RegInt || r.Class == RegFP) && r.Index < NumLogical
+}
+
+// IsZero reports whether r is one of the hardwired-zero registers.
+func (r Reg) IsZero() bool {
+	return (r.Class == RegInt || r.Class == RegFP) && r.Index == ZeroReg
+}
+
+// String renders the register in assembler syntax (r7, f12, or "-" for none).
+func (r Reg) String() string {
+	switch r.Class {
+	case RegInt:
+		return fmt.Sprintf("r%d", r.Index)
+	case RegFP:
+		return fmt.Sprintf("f%d", r.Index)
+	default:
+		return "-"
+	}
+}
+
+// Inst is one decoded instruction. Interpretation of the operand fields
+// depends on the opcode:
+//
+//   - ALU register forms: Dst = Src1 op Src2
+//   - ALU immediate forms: Dst = Src1 op Imm
+//   - Loads:  Dst = MEM[Src1 + Imm]
+//   - Stores: MEM[Src1 + Imm] = Src2
+//   - Conditional branches: test Src1 against zero; Target is the taken PC
+//   - BR/BSR: unconditional; BSR writes the return PC to Dst
+//   - JSR: jump to Src1, return PC to Dst; RET: jump to Src1
+//
+// PCs are instruction indices, not byte addresses.
+type Inst struct {
+	Op     Opcode
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    int64
+	Target int // taken-path PC for direct branches; unused otherwise
+}
+
+// HasDst reports whether the instruction writes an architectural register
+// that actually needs renaming (writes to the hardwired zero registers are
+// discarded and allocate nothing).
+func (i Inst) HasDst() bool {
+	return i.Dst.Class != RegNone && !i.Dst.IsZero()
+}
+
+// Sources returns the instruction's register source operands, skipping
+// absent ones. Zero registers are still reported (they read as zero but are
+// renamed like any other source; schemes may special-case them).
+func (i Inst) Sources() []Reg {
+	var out []Reg
+	if i.Src1.Class != RegNone {
+		out = append(out, i.Src1)
+	}
+	if i.Src2.Class != RegNone {
+		out = append(out, i.Src2)
+	}
+	return out
+}
+
+// Validate checks structural well-formedness of the instruction against its
+// opcode's operand signature. The assembler and generators call this so the
+// pipeline can assume instructions are well-formed.
+func (i Inst) Validate() error {
+	info := i.Op.Info()
+	if info.Name == "" {
+		return fmt.Errorf("isa: unknown opcode %d", i.Op)
+	}
+	check := func(got Reg, want RegClass, what string) error {
+		if want == RegNone {
+			if got.Class != RegNone {
+				return fmt.Errorf("isa: %s: unexpected %s operand %s", info.Name, what, got)
+			}
+			return nil
+		}
+		if got.Class != want {
+			return fmt.Errorf("isa: %s: %s operand must be %s register, got %s", info.Name, what, want, got)
+		}
+		if !got.Valid() {
+			return fmt.Errorf("isa: %s: %s operand %s out of range", info.Name, what, got)
+		}
+		return nil
+	}
+	if err := check(i.Dst, info.DstClass, "destination"); err != nil {
+		return err
+	}
+	if err := check(i.Src1, info.Src1Class, "first source"); err != nil {
+		return err
+	}
+	if err := check(i.Src2, info.Src2Class, "second source"); err != nil {
+		return err
+	}
+	if info.IsBranch && !info.IsIndirect && i.Target < 0 {
+		return fmt.Errorf("isa: %s: direct branch needs a resolved target", info.Name)
+	}
+	return nil
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	info := i.Op.Info()
+	switch {
+	case info.IsLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", info.Name, i.Dst, i.Imm, i.Src1)
+	case info.IsStore:
+		return fmt.Sprintf("%s %d(%s), %s", info.Name, i.Imm, i.Src1, i.Src2)
+	case info.IsBranch && info.IsIndirect:
+		if i.Dst.Class != RegNone {
+			return fmt.Sprintf("%s %s, %s", info.Name, i.Dst, i.Src1)
+		}
+		return fmt.Sprintf("%s %s", info.Name, i.Src1)
+	case info.IsBranch && info.IsUncond:
+		if i.Dst.Class != RegNone {
+			return fmt.Sprintf("%s %s, @%d", info.Name, i.Dst, i.Target)
+		}
+		return fmt.Sprintf("%s @%d", info.Name, i.Target)
+	case info.IsBranch:
+		return fmt.Sprintf("%s %s, @%d", info.Name, i.Src1, i.Target)
+	case info.HasImm && info.Src1Class != RegNone:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, i.Dst, i.Src1, i.Imm)
+	case info.HasImm:
+		return fmt.Sprintf("%s %s, %d", info.Name, i.Dst, i.Imm)
+	case info.Src2Class != RegNone:
+		return fmt.Sprintf("%s %s, %s, %s", info.Name, i.Dst, i.Src1, i.Src2)
+	case info.Src1Class != RegNone && info.DstClass != RegNone:
+		return fmt.Sprintf("%s %s, %s", info.Name, i.Dst, i.Src1)
+	default:
+		return info.Name
+	}
+}

@@ -1,0 +1,213 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{IntReg(0), "r0"},
+		{IntReg(31), "r31"},
+		{FPReg(12), "f12"},
+		{NoReg, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	if !IntReg(0).Valid() || !IntReg(31).Valid() || !FPReg(31).Valid() {
+		t.Error("in-range registers must be valid")
+	}
+	if (Reg{Class: RegInt, Index: 32}).Valid() {
+		t.Error("r32 must be invalid")
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg must be invalid")
+	}
+}
+
+func TestZeroRegs(t *testing.T) {
+	if !IntReg(31).IsZero() || !FPReg(31).IsZero() {
+		t.Error("r31 and f31 are the hardwired zeros")
+	}
+	if IntReg(30).IsZero() || NoReg.IsZero() {
+		t.Error("only index 31 is zero")
+	}
+}
+
+func TestHasDst(t *testing.T) {
+	add := Inst{Op: ADD, Dst: IntReg(1), Src1: IntReg(2), Src2: IntReg(3)}
+	if !add.HasDst() {
+		t.Error("add r1 has a destination")
+	}
+	addZero := Inst{Op: ADD, Dst: IntReg(31), Src1: IntReg(2), Src2: IntReg(3)}
+	if addZero.HasDst() {
+		t.Error("writes to r31 allocate nothing")
+	}
+	st := Inst{Op: STQ, Src1: IntReg(2), Src2: IntReg(3)}
+	if st.HasDst() {
+		t.Error("stores have no destination")
+	}
+}
+
+func TestEveryOpcodeHasInfo(t *testing.T) {
+	for _, op := range Opcodes() {
+		info := op.Info()
+		if info.Name == "" {
+			t.Fatalf("opcode %d has no table entry", op)
+		}
+		if info.Latency <= 0 {
+			t.Errorf("%s: latency must be positive, got %d", info.Name, info.Latency)
+		}
+		if info.Kind >= NumFUKinds {
+			t.Errorf("%s: bad FU kind %d", info.Name, info.Kind)
+		}
+		back, ok := ByName(info.Name)
+		if !ok || back != op {
+			t.Errorf("ByName(%q) = %v,%v; want %v", info.Name, back, ok, op)
+		}
+	}
+}
+
+func TestTable1Latencies(t *testing.T) {
+	// The paper's Table 1 pins these down; a change here silently changes
+	// every experiment, so lock them in.
+	want := map[Opcode]int{
+		ADD: 1, MUL: 9, DIV: 67, LDQ: 1, FADD: 4, FMUL: 4, FDIV: 16, FSQRT: 16,
+	}
+	for op, lat := range want {
+		if got := op.Info().Latency; got != lat {
+			t.Errorf("%s latency = %d, want %d", op, got, lat)
+		}
+	}
+	for _, op := range []Opcode{DIV, REM, FDIV, FSQRT} {
+		if op.Info().Pipelined {
+			t.Errorf("%s must be unpipelined", op)
+		}
+	}
+}
+
+func TestOpClassFlags(t *testing.T) {
+	if !LDQ.Info().IsLoad || !LDT.Info().IsLoad {
+		t.Error("ldq/ldt are loads")
+	}
+	if !STQ.Info().IsStore || !STT.Info().IsStore {
+		t.Error("stq/stt are stores")
+	}
+	for _, op := range []Opcode{BEQ, BNE, BLT, BLE, BGT, BGE, FBEQ, FBNE, BR, BSR, JSR, RET} {
+		if !op.Info().IsBranch {
+			t.Errorf("%s is a branch", op)
+		}
+	}
+	for _, op := range []Opcode{BR, BSR, JSR, RET} {
+		if !op.Info().IsUncond {
+			t.Errorf("%s is unconditional", op)
+		}
+	}
+	for _, op := range []Opcode{JSR, RET} {
+		if !op.Info().IsIndirect {
+			t.Errorf("%s is indirect", op)
+		}
+	}
+	if BEQ.Info().IsIndirect || BR.Info().IsIndirect {
+		t.Error("direct branches are not indirect")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Inst{
+		{Op: ADD, Dst: IntReg(1), Src1: IntReg(2), Src2: IntReg(3)},
+		{Op: ADDI, Dst: IntReg(1), Src1: IntReg(2), Imm: 5},
+		{Op: LDQ, Dst: IntReg(1), Src1: IntReg(2), Imm: 8},
+		{Op: STT, Src1: IntReg(2), Src2: FPReg(3), Imm: -8},
+		{Op: BEQ, Src1: IntReg(4), Target: 7},
+		{Op: BR, Target: 0},
+		{Op: RET, Src1: IntReg(26)},
+		{Op: FCVTI, Dst: IntReg(3), Src1: FPReg(1)},
+		{Op: NOP},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", in, err)
+		}
+	}
+	bad := []Inst{
+		{Op: ADD, Dst: FPReg(1), Src1: IntReg(2), Src2: IntReg(3)},                      // wrong dst file
+		{Op: ADD, Dst: IntReg(1), Src1: IntReg(2)},                                      // missing src2
+		{Op: FADD, Dst: FPReg(1), Src1: FPReg(2), Src2: IntReg(3)},                      // wrong src file
+		{Op: BEQ, Src1: IntReg(4), Target: -1},                                          // unresolved target
+		{Op: NOP, Dst: IntReg(1)},                                                       // spurious operand
+		{Op: Opcode(200), Dst: IntReg(1)},                                               // unknown op
+		{Op: ADD, Dst: Reg{Class: RegInt, Index: 40}, Src1: IntReg(0), Src2: IntReg(0)}, // out of range
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("%v: expected validation error", in)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Dst: IntReg(1), Src1: IntReg(2), Src2: IntReg(3)}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Dst: IntReg(1), Src1: IntReg(2), Imm: -4}, "addi r1, r2, -4"},
+		{Inst{Op: LDI, Dst: IntReg(9), Imm: 100}, "ldi r9, 100"},
+		{Inst{Op: LDQ, Dst: IntReg(1), Src1: IntReg(2), Imm: 16}, "ldq r1, 16(r2)"},
+		{Inst{Op: STT, Src1: IntReg(5), Src2: FPReg(6), Imm: 0}, "stt 0(r5), f6"},
+		{Inst{Op: BNE, Src1: IntReg(3), Target: 12}, "bne r3, @12"},
+		{Inst{Op: BR, Target: 3}, "br @3"},
+		{Inst{Op: BSR, Dst: IntReg(26), Target: 40}, "bsr r26, @40"},
+		{Inst{Op: RET, Src1: IntReg(26)}, "ret r26"},
+		{Inst{Op: JSR, Dst: IntReg(26), Src1: IntReg(27)}, "jsr r26, r27"},
+		{Inst{Op: FCVTI, Dst: IntReg(3), Src1: FPReg(1)}, "fcvti r3, f1"},
+		{Inst{Op: NOP}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	st := Inst{Op: STQ, Src1: IntReg(2), Src2: IntReg(3), Imm: 0}
+	if n := len(st.Sources()); n != 2 {
+		t.Errorf("store has 2 sources, got %d", n)
+	}
+	ldi := Inst{Op: LDI, Dst: IntReg(1), Imm: 3}
+	if n := len(ldi.Sources()); n != 0 {
+		t.Errorf("ldi has 0 sources, got %d", n)
+	}
+}
+
+// Property: String never panics and is non-empty for arbitrary register
+// values, and Validate never panics for arbitrary instructions.
+func TestQuickStringValidateTotal(t *testing.T) {
+	f := func(op uint8, dc, s1c, s2c uint8, di, s1i, s2i uint8, imm int64, tgt int16) bool {
+		in := Inst{
+			Op:     Opcode(op % uint8(numOpcodes)),
+			Dst:    Reg{Class: RegClass(dc % 3), Index: di % 40},
+			Src1:   Reg{Class: RegClass(s1c % 3), Index: s1i % 40},
+			Src2:   Reg{Class: RegClass(s2c % 3), Index: s2i % 40},
+			Imm:    imm,
+			Target: int(tgt),
+		}
+		_ = in.Validate()
+		return in.String() != "" && !strings.Contains(in.Op.String(), "\x00")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

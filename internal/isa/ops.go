@@ -1,0 +1,294 @@
+package isa
+
+// FUKind classifies functional units following Table 1 of the paper.
+type FUKind uint8
+
+// Functional-unit kinds. The counts and latencies the paper attaches to each
+// kind live in the simulator configuration; here we only record which kind an
+// opcode needs.
+const (
+	FUIntALU  FUKind = iota // "Simple Integer": 3 units, latency 1
+	FUIntMul                // "Complex Integer": 2 units, multiply latency 9
+	FUIntDiv                //   (same 2 units), divide latency 67, unpipelined
+	FUEffAddr               // "Effective Address": 3 units, latency 1
+	FUFPALU                 // "Simple FP": 3 units, latency 4
+	FUFPMul                 // "FP Multiplication": 2 units, latency 4
+	FUFPDiv                 // "FP Divide and SQR": 2 units, latency 16, unpipelined
+	NumFUKinds
+)
+
+// String names the unit kind.
+func (k FUKind) String() string {
+	switch k {
+	case FUIntALU:
+		return "int-alu"
+	case FUIntMul:
+		return "int-mul"
+	case FUIntDiv:
+		return "int-div"
+	case FUEffAddr:
+		return "eff-addr"
+	case FUFPALU:
+		return "fp-alu"
+	case FUFPMul:
+		return "fp-mul"
+	case FUFPDiv:
+		return "fp-div"
+	default:
+		return "fu?"
+	}
+}
+
+// Opcode enumerates every operation in the ISA.
+type Opcode uint8
+
+// The opcode set. Arithmetic follows Alpha conventions: conditional branches
+// test one register against zero, compares produce 0/1 in a register.
+const (
+	NOP Opcode = iota
+
+	// Integer ALU, register forms.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	CMPEQ
+	CMPLT
+	CMPLE
+
+	// Integer ALU, immediate forms.
+	ADDI
+	SUBI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	CMPEQI
+	CMPLTI
+	CMPLEI
+	LDI // Dst = Imm
+
+	// Complex integer.
+	MUL
+	DIV // signed divide; division by zero yields 0 (defined, no traps)
+	REM // signed remainder; same latency/unit as DIV
+
+	// Memory.
+	LDQ // integer load
+	STQ // integer store
+	LDT // FP load
+	STT // FP store
+
+	// Simple FP.
+	FADD
+	FSUB
+	FCMPEQ // Dst(fp) = 1.0 if Src1 == Src2 else 0.0
+	FCMPLT
+	FCMPLE
+	CVTIF // int → fp: Dst(fp) = float(Src1(int))
+	FCVTI // fp → int: Dst(int) = trunc(Src1(fp))
+
+	// FP multiply.
+	FMUL
+
+	// FP divide / square root.
+	FDIV  // division by zero yields 0 (defined, no traps)
+	FSQRT // of a negative operand yields 0
+
+	// Control flow. Conditional branches test an integer register.
+	BEQ
+	BNE
+	BLT
+	BLE
+	BGT
+	BGE
+	// FP conditional branches test an FP register against 0.0 and resolve
+	// on a simple-FP unit.
+	FBEQ
+	FBNE
+	// Unconditional.
+	BR
+	BSR // Dst = return PC; jump to Target
+	JSR // Dst = return PC; jump to Src1 (indirect)
+	RET // jump to Src1 (indirect)
+
+	HALT // stops the functional emulator; never reaches the pipeline
+
+	numOpcodes
+)
+
+// OpInfo describes an opcode's operand signature and execution resource.
+type OpInfo struct {
+	Name      string
+	Kind      FUKind
+	Latency   int  // execution latency in cycles (loads: cache adds more)
+	Pipelined bool // false for the dividers, which occupy their unit
+
+	DstClass  RegClass
+	Src1Class RegClass
+	Src2Class RegClass
+	HasImm    bool
+
+	IsLoad     bool
+	IsStore    bool
+	IsBranch   bool
+	IsUncond   bool // always-taken control flow
+	IsIndirect bool // target comes from a register
+}
+
+// opTable is indexed by Opcode.
+var opTable = [numOpcodes]OpInfo{
+	NOP: {Name: "nop", Kind: FUIntALU, Latency: 1, Pipelined: true},
+
+	ADD:   intALU3("add"),
+	SUB:   intALU3("sub"),
+	AND:   intALU3("and"),
+	OR:    intALU3("or"),
+	XOR:   intALU3("xor"),
+	SLL:   intALU3("sll"),
+	SRL:   intALU3("srl"),
+	SRA:   intALU3("sra"),
+	CMPEQ: intALU3("cmpeq"),
+	CMPLT: intALU3("cmplt"),
+	CMPLE: intALU3("cmple"),
+
+	ADDI:   intALUImm("addi"),
+	SUBI:   intALUImm("subi"),
+	ANDI:   intALUImm("andi"),
+	ORI:    intALUImm("ori"),
+	XORI:   intALUImm("xori"),
+	SLLI:   intALUImm("slli"),
+	SRLI:   intALUImm("srli"),
+	SRAI:   intALUImm("srai"),
+	CMPEQI: intALUImm("cmpeqi"),
+	CMPLTI: intALUImm("cmplti"),
+	CMPLEI: intALUImm("cmplei"),
+	LDI: {Name: "ldi", Kind: FUIntALU, Latency: 1, Pipelined: true,
+		DstClass: RegInt, HasImm: true},
+
+	MUL: {Name: "mul", Kind: FUIntMul, Latency: 9, Pipelined: true,
+		DstClass: RegInt, Src1Class: RegInt, Src2Class: RegInt},
+	DIV: {Name: "div", Kind: FUIntDiv, Latency: 67, Pipelined: false,
+		DstClass: RegInt, Src1Class: RegInt, Src2Class: RegInt},
+	REM: {Name: "rem", Kind: FUIntDiv, Latency: 67, Pipelined: false,
+		DstClass: RegInt, Src1Class: RegInt, Src2Class: RegInt},
+
+	LDQ: {Name: "ldq", Kind: FUEffAddr, Latency: 1, Pipelined: true,
+		DstClass: RegInt, Src1Class: RegInt, HasImm: true, IsLoad: true},
+	STQ: {Name: "stq", Kind: FUEffAddr, Latency: 1, Pipelined: true,
+		Src1Class: RegInt, Src2Class: RegInt, HasImm: true, IsStore: true},
+	LDT: {Name: "ldt", Kind: FUEffAddr, Latency: 1, Pipelined: true,
+		DstClass: RegFP, Src1Class: RegInt, HasImm: true, IsLoad: true},
+	STT: {Name: "stt", Kind: FUEffAddr, Latency: 1, Pipelined: true,
+		Src1Class: RegInt, Src2Class: RegFP, HasImm: true, IsStore: true},
+
+	FADD:   fpALU3("fadd"),
+	FSUB:   fpALU3("fsub"),
+	FCMPEQ: fpALU3("fcmpeq"),
+	FCMPLT: fpALU3("fcmplt"),
+	FCMPLE: fpALU3("fcmple"),
+	CVTIF: {Name: "cvtif", Kind: FUFPALU, Latency: 4, Pipelined: true,
+		DstClass: RegFP, Src1Class: RegInt},
+	FCVTI: {Name: "fcvti", Kind: FUFPALU, Latency: 4, Pipelined: true,
+		DstClass: RegInt, Src1Class: RegFP},
+
+	FMUL: {Name: "fmul", Kind: FUFPMul, Latency: 4, Pipelined: true,
+		DstClass: RegFP, Src1Class: RegFP, Src2Class: RegFP},
+
+	FDIV: {Name: "fdiv", Kind: FUFPDiv, Latency: 16, Pipelined: false,
+		DstClass: RegFP, Src1Class: RegFP, Src2Class: RegFP},
+	FSQRT: {Name: "fsqrt", Kind: FUFPDiv, Latency: 16, Pipelined: false,
+		DstClass: RegFP, Src1Class: RegFP},
+
+	BEQ: condBr("beq"),
+	BNE: condBr("bne"),
+	BLT: condBr("blt"),
+	BLE: condBr("ble"),
+	BGT: condBr("bgt"),
+	BGE: condBr("bge"),
+	FBEQ: {Name: "fbeq", Kind: FUFPALU, Latency: 4, Pipelined: true,
+		Src1Class: RegFP, IsBranch: true},
+	FBNE: {Name: "fbne", Kind: FUFPALU, Latency: 4, Pipelined: true,
+		Src1Class: RegFP, IsBranch: true},
+
+	BR: {Name: "br", Kind: FUIntALU, Latency: 1, Pipelined: true,
+		IsBranch: true, IsUncond: true},
+	BSR: {Name: "bsr", Kind: FUIntALU, Latency: 1, Pipelined: true,
+		DstClass: RegInt, IsBranch: true, IsUncond: true},
+	JSR: {Name: "jsr", Kind: FUIntALU, Latency: 1, Pipelined: true,
+		DstClass: RegInt, Src1Class: RegInt, IsBranch: true, IsUncond: true, IsIndirect: true},
+	RET: {Name: "ret", Kind: FUIntALU, Latency: 1, Pipelined: true,
+		Src1Class: RegInt, IsBranch: true, IsUncond: true, IsIndirect: true},
+
+	HALT: {Name: "halt", Kind: FUIntALU, Latency: 1, Pipelined: true},
+}
+
+func intALU3(name string) OpInfo {
+	return OpInfo{Name: name, Kind: FUIntALU, Latency: 1, Pipelined: true,
+		DstClass: RegInt, Src1Class: RegInt, Src2Class: RegInt}
+}
+
+func intALUImm(name string) OpInfo {
+	return OpInfo{Name: name, Kind: FUIntALU, Latency: 1, Pipelined: true,
+		DstClass: RegInt, Src1Class: RegInt, HasImm: true}
+}
+
+func fpALU3(name string) OpInfo {
+	return OpInfo{Name: name, Kind: FUFPALU, Latency: 4, Pipelined: true,
+		DstClass: RegFP, Src1Class: RegFP, Src2Class: RegFP}
+}
+
+func condBr(name string) OpInfo {
+	return OpInfo{Name: name, Kind: FUIntALU, Latency: 1, Pipelined: true,
+		Src1Class: RegInt, IsBranch: true}
+}
+
+// Info returns the opcode's description. Unknown opcodes return a zero
+// OpInfo whose Name is empty.
+func (op Opcode) Info() OpInfo {
+	if int(op) >= len(opTable) {
+		return OpInfo{}
+	}
+	return opTable[op]
+}
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string {
+	info := op.Info()
+	if info.Name == "" {
+		return "op?"
+	}
+	return info.Name
+}
+
+// Opcodes returns every defined opcode except the internal bound marker.
+// The order is stable. Generators and the assembler use this to build
+// lookup tables.
+func Opcodes() []Opcode {
+	out := make([]Opcode, 0, int(numOpcodes))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+// ByName resolves an assembler mnemonic to its opcode.
+func ByName(name string) (Opcode, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+var nameToOp = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[opTable[op].Name] = op
+	}
+	delete(m, "")
+	return m
+}()

@@ -1,0 +1,947 @@
+// Package pipeline is the cycle-accurate, trace-driven out-of-order
+// processor model of the paper's §4.1: 8-way fetch/decode/commit, a
+// 128-entry reorder buffer, Table 1 functional units, separate integer and
+// FP physical register files with 16 read and 8 write ports, three ports
+// into a lockup-free data cache, a 2048-entry branch history table, and
+// PA-8000-style memory disambiguation.
+//
+// The pipeline is driven by a committed-path trace (internal/trace).
+// Mispredicted branches freeze fetch until they resolve — wrong-path
+// instructions are not simulated, exactly as in the paper's trace-driven
+// methodology. Memory-order violations under speculative disambiguation do
+// squash and re-fetch real instructions, exercising the renamers' recovery
+// machinery.
+//
+// When the trace carries values (emulator-generated traces do), the
+// pipeline routes those values through the physical register files and
+// verifies at every operand read that the consumer sees exactly the value
+// the architectural emulator produced — a golden-model check that turns
+// renaming bugs into hard errors instead of silently wrong timing.
+//
+// The paper closes by predicting that virtual-physical registers matter
+// even more for multithreaded architectures (§5, future work). NewSMT
+// realizes that scenario: several hardware threads, each with its own
+// trace, front end, reorder buffer and map tables, share the functional
+// units, cache ports, and — crucially — the physical register files
+// through core.SharedPool.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+type state uint8
+
+const (
+	stWaiting   state = iota // dispatched; waiting for operands or re-execution
+	stExecuting              // issued to a functional unit / memory pipeline
+	stCompleted              // result produced; awaiting in-order commit
+)
+
+const (
+	valueNone    int64 = -2 // load has not obtained its value yet
+	valueMemory  int64 = -1 // load value came from the cache/memory
+	timeUnset    int64 = -1
+	fetchBufSize       = 16
+
+	// threadAddrShift namespaces each thread's addresses in the shared
+	// cache: traces are generated in identical virtual address spaces,
+	// but SMT threads must not alias each other's lines.
+	threadAddrShift = 44
+)
+
+// robEntry is one in-flight instruction. Because fetch follows the
+// committed path, instruction numbers in a thread's reorder buffer are
+// consecutive trace sequence numbers.
+type robEntry struct {
+	inum int64
+	rec  trace.Record
+	ren  core.Renamed
+
+	st         state
+	inIQ       bool
+	src1Ready  bool
+	src2Ready  bool
+	executions int
+
+	completeAt int64 // cycle execution finishes (timeUnset while unknown)
+	aguDoneAt  int64 // memory ops: cycle the effective address is ready
+
+	isLoad    bool
+	isStore   bool
+	valueFrom int64 // loads: forwarding store inum, valueMemory, or valueNone
+
+	isBranch bool
+	isCond   bool
+	mispred  bool
+}
+
+func (e *robEntry) ready() bool {
+	if e.isStore {
+		return e.src1Ready // address only; data may arrive later
+	}
+	return e.src1Ready && e.src2Ready
+}
+
+// sqEntry tracks an uncommitted store for disambiguation and forwarding.
+type sqEntry struct {
+	inum    int64
+	ea      uint64
+	eaKnown bool
+}
+
+type fetchItem struct {
+	rec     trace.Record
+	mispred bool
+}
+
+// thread is one hardware context: private trace, front end, reorder
+// buffer, store queue and renamer (map tables); everything else is shared.
+type thread struct {
+	id  int
+	gen trace.Generator
+
+	stream *trace.Stream
+	ren    core.Renamer
+
+	fetchSeq    int64
+	fetchBuf    []fetchItem
+	frozen      bool
+	frozenOn    int64
+	nextFetchAt int64
+	traceEnded  bool
+
+	rob      []robEntry
+	robHead  int
+	robCount int
+	headInum int64
+	sq       []sqEntry
+
+	committed int64
+}
+
+// at returns the thread's i-th oldest in-flight entry.
+func (t *thread) at(i int) *robEntry {
+	return &t.rob[(t.robHead+i)%len(t.rob)]
+}
+
+func (t *thread) entryByInum(inum int64) *robEntry {
+	off := inum - t.headInum
+	if off < 0 || off >= int64(t.robCount) {
+		return nil
+	}
+	return t.at(int(off))
+}
+
+func (t *thread) sqEntry(inum int64) *sqEntry {
+	for i := range t.sq {
+		if t.sq[i].inum == inum {
+			return &t.sq[i]
+		}
+	}
+	return nil
+}
+
+// addr namespaces an effective address for the shared cache.
+func (t *thread) addr(ea uint64) uint64 {
+	return ea + uint64(t.id)<<threadAddrShift
+}
+
+func (t *thread) done() bool {
+	return t.traceEnded && t.robCount == 0 && len(t.fetchBuf) == 0
+}
+
+// Sim is one simulated processor bound to one or more traces.
+type Sim struct {
+	cfg Config
+
+	threads []*thread
+	pool    *core.SharedPool
+	bht     *bpred.BHT
+	dcache  *cache.Cache
+
+	cycle int64
+
+	// Shared structural state.
+	iqCount         int // instruction-queue occupancy across threads
+	prf             [2][]uint64
+	committedStores []uint64
+	pools           [6][]int64 // busy-until per functional unit, per pool
+	kindToPool      [isa.NumFUKinds]int
+
+	rotate          int // round-robin offset, advanced every cycle
+	lastCommitCycle int64
+
+	stats Stats
+}
+
+// New builds a single-threaded simulator over the generator — the paper's
+// configuration.
+func New(cfg Config, gen trace.Generator) (*Sim, error) {
+	return NewSMT(cfg, []trace.Generator{gen})
+}
+
+// NewSMT builds a simulator with one hardware thread per generator. All
+// threads run the same machine configuration; the physical register files
+// are shared, so cfg.Rename.PhysRegs must cover every thread's
+// architectural registers plus headroom for renaming.
+func NewSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("pipeline: need at least one trace")
+	}
+	if need := len(gens) * cfg.Rename.LogicalRegs; cfg.Rename.PhysRegs <= need {
+		return nil, fmt.Errorf("pipeline: %d physical registers cannot back %d threads × %d logical",
+			cfg.Rename.PhysRegs, len(gens), cfg.Rename.LogicalRegs)
+	}
+	s := &Sim{
+		cfg:    cfg,
+		pool:   core.NewSharedPool(cfg.Rename.PhysRegs),
+		bht:    bpred.New(cfg.BHTEntries),
+		dcache: cache.New(cfg.Cache),
+	}
+	for i, gen := range gens {
+		th := &thread{
+			id:     i,
+			gen:    gen,
+			stream: trace.NewStream(gen, cfg.ROBSize+fetchBufSize+4*cfg.FetchWidth+64),
+			rob:    make([]robEntry, cfg.ROBSize),
+		}
+		switch cfg.Scheme {
+		case core.SchemeConventional:
+			th.ren = core.NewConventionalShared(cfg.Rename, s.pool)
+		case core.SchemeVPWriteback:
+			th.ren = core.NewVPShared(cfg.Rename, core.AllocAtWriteback, s.pool)
+		case core.SchemeVPIssue:
+			th.ren = core.NewVPShared(cfg.Rename, core.AllocAtIssue, s.pool)
+		default:
+			return nil, fmt.Errorf("pipeline: unknown scheme %v", cfg.Scheme)
+		}
+		s.threads = append(s.threads, th)
+	}
+	for f := 0; f < 2; f++ {
+		s.prf[f] = make([]uint64, cfg.Rename.PhysRegs)
+	}
+	poolSizes := []int{
+		cfg.SimpleIntUnits, cfg.ComplexIntUnits, cfg.EffAddrUnits,
+		cfg.SimpleFPUnits, cfg.FPMulUnits, cfg.FPDivUnits,
+	}
+	for i, n := range poolSizes {
+		s.pools[i] = make([]int64, n)
+	}
+	s.kindToPool = [isa.NumFUKinds]int{
+		isa.FUIntALU:  0,
+		isa.FUIntMul:  1,
+		isa.FUIntDiv:  1, // multiply and divide share the complex-int units
+		isa.FUEffAddr: 2,
+		isa.FUFPALU:   3,
+		isa.FUFPMul:   4,
+		isa.FUFPDiv:   5,
+	}
+	return s, nil
+}
+
+// Renamer exposes thread 0's renamer for statistics collection.
+func (s *Sim) Renamer() core.Renamer { return s.threads[0].ren }
+
+// Cache exposes the shared data cache for statistics collection.
+func (s *Sim) Cache() *cache.Cache { return s.dcache }
+
+// BHT exposes the shared branch predictor for statistics collection.
+func (s *Sim) BHT() *bpred.BHT { return s.bht }
+
+// Threads returns the number of hardware threads.
+func (s *Sim) Threads() int { return len(s.threads) }
+
+// ThreadCommitted returns instructions committed by one thread.
+func (s *Sim) ThreadCommitted(i int) int64 { return s.threads[i].committed }
+
+// Done reports whether every thread's trace is exhausted and drained.
+func (s *Sim) Done() bool {
+	for _, th := range s.threads {
+		if !th.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns a snapshot of the statistics including cache counters.
+func (s *Sim) Stats() Stats {
+	st := s.stats
+	st.Cycles = s.cycle
+	st.CacheAccesses = s.dcache.Accesses
+	st.CacheMisses = s.dcache.Misses
+	st.CacheMergedMiss = s.dcache.Merges
+	st.MSHRStallCycles = s.dcache.MSHRStalls
+	st.PeakMSHRs = s.dcache.PeakInFlight
+	for _, th := range s.threads {
+		lifetime, freed := th.ren.PressureStats()
+		st.RegLifetimeSum += lifetime
+		st.RegsFreed += freed
+		if c, ok := th.ren.(*core.Conventional); ok {
+			st.RenameRegStall += c.RenameStalls
+			st.EarlyReleases += c.EarlyReleases
+		}
+		if v, ok := th.ren.(*core.VP); ok {
+			st.Reexecutions += v.AllocFailures
+			st.IssueBlocks += v.IssueBlocks
+		}
+	}
+	return st
+}
+
+// Run advances the simulation until every trace drains or maxCommits
+// commit in total.
+func (s *Sim) Run(maxCommits int64) (Stats, error) {
+	for !s.Done() && (maxCommits <= 0 || s.stats.Committed < maxCommits) {
+		if err := s.Step(); err != nil {
+			return s.Stats(), err
+		}
+	}
+	return s.Stats(), nil
+}
+
+// Step simulates one cycle. Stages run in reverse pipeline order so that
+// results written back in a cycle can wake and issue dependants in the
+// same cycle (full bypassing), identically for every renaming scheme.
+// Shared budgets (commit/issue/decode width, ports) rotate their starting
+// thread every cycle for fairness.
+func (s *Sim) Step() error {
+	now := s.cycle
+	if err := s.commitStage(now); err != nil {
+		return err
+	}
+	if err := s.writebackStage(now); err != nil {
+		return err
+	}
+	if err := s.executeStage(now); err != nil {
+		return err
+	}
+	if err := s.issueStage(now); err != nil {
+		return err
+	}
+	if err := s.dispatchStage(now); err != nil {
+		return err
+	}
+	s.fetchStage(now)
+	s.sample()
+	if s.cfg.Debug {
+		for _, th := range s.threads {
+			if err := th.ren.CheckInvariants(); err != nil {
+				return fmt.Errorf("cycle %d thread %d: %w", now, th.id, err)
+			}
+		}
+	}
+	if now-s.lastCommitCycle > s.cfg.DeadlockCycles {
+		return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (%s): deadlock",
+			s.cfg.DeadlockCycles, now, s.describeHeads())
+	}
+	s.cycle++
+	s.rotate++
+	return nil
+}
+
+func (s *Sim) describeHeads() string {
+	out := ""
+	for _, th := range s.threads {
+		if out != "" {
+			out += "; "
+		}
+		if th.robCount == 0 {
+			out += fmt.Sprintf("t%d empty", th.id)
+			continue
+		}
+		e := th.at(0)
+		out += fmt.Sprintf("t%d head inum %d %s state %d ready %v/%v",
+			th.id, e.inum, e.rec.Inst, e.st, e.src1Ready, e.src2Ready)
+	}
+	return out
+}
+
+// order returns the threads starting at the current rotation offset.
+func (s *Sim) order() []*thread {
+	n := len(s.threads)
+	if n == 1 {
+		return s.threads
+	}
+	out := make([]*thread, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.threads[(s.rotate+i)%n])
+	}
+	return out
+}
+
+// --- commit ------------------------------------------------------------------
+
+func (s *Sim) commitStage(now int64) error {
+	budget := s.cfg.CommitWidth
+	for _, th := range s.order() {
+		for budget > 0 && th.robCount > 0 {
+			e := th.at(0)
+			if e.st != stCompleted {
+				break
+			}
+			if e.isStore {
+				if len(s.committedStores) >= s.cfg.StoreBufferSize {
+					s.stats.CommitSBStalls++
+					break
+				}
+				s.committedStores = append(s.committedStores, th.addr(e.rec.EA))
+				if len(th.sq) == 0 || th.sq[0].inum != e.inum {
+					return fmt.Errorf("pipeline: store queue out of sync at commit of %d", e.inum)
+				}
+				th.sq = th.sq[1:]
+				s.stats.Stores++
+			}
+			if e.isLoad {
+				s.stats.Loads++
+			}
+			th.ren.Commit(e.inum)
+			s.stats.Committed++
+			th.committed++
+			s.lastCommitCycle = now
+			th.robHead = (th.robHead + 1) % len(th.rob)
+			th.robCount--
+			th.headInum++
+			budget--
+		}
+		th.stream.Retire(th.headInum)
+		th.ren.Tick(now, s.safeBound(th))
+	}
+	return nil
+}
+
+// safeBound returns the newest instruction number in the thread that can
+// no longer be squashed. The only squash source in this trace-driven model
+// is a memory-order violation, triggered by a store whose address was
+// still unknown.
+func (s *Sim) safeBound(th *thread) int64 {
+	tail := th.headInum + int64(th.robCount) - 1
+	if s.cfg.Disambiguation == DisambConservative {
+		return tail
+	}
+	for i := range th.sq {
+		if !th.sq[i].eaKnown {
+			return th.sq[i].inum - 1
+		}
+	}
+	return tail
+}
+
+// --- write-back / completion ---------------------------------------------------
+
+func (s *Sim) writebackStage(now int64) error {
+	wbPorts := [2]int{s.cfg.RFWritePorts, s.cfg.RFWritePorts}
+	for _, th := range s.order() {
+		for i := 0; i < th.robCount; i++ {
+			e := th.at(i)
+			if e.st != stExecuting {
+				continue
+			}
+			if e.isStore {
+				// A store is complete once its address has been
+				// recorded in the store queue (by the execute stage,
+				// so violation checks always run) and its data has
+				// arrived; it consumes no write port.
+				sqe := th.sqEntry(e.inum)
+				if sqe != nil && sqe.eaKnown && e.src2Ready {
+					if err := s.checkOperand(th, e, e.ren.Src2, e.rec.Src2Val); err != nil {
+						return err
+					}
+					th.ren.NoteRead(e.inum, false, true) // data operand read now
+					if _, ok := th.ren.Complete(e.inum); !ok {
+						return fmt.Errorf("pipeline: store %d refused completion", e.inum)
+					}
+					e.st = stCompleted
+					s.leaveIQ(e)
+				}
+				continue
+			}
+			if e.completeAt == timeUnset || e.completeAt > now {
+				continue
+			}
+			hasDst := e.ren.Dst.Present
+			f := 0
+			if hasDst {
+				f = classIdxOf(e.ren.Dst.Class)
+				if wbPorts[f] == 0 {
+					continue // structural: retry next cycle
+				}
+			}
+			preg, ok := th.ren.Complete(e.inum)
+			if !ok {
+				// §3.3: no register may be allocated at write-back;
+				// squash the instruction back to the queue and
+				// re-execute it.
+				e.st = stWaiting
+				e.completeAt = timeUnset
+				e.aguDoneAt = timeUnset
+				if e.isLoad {
+					e.valueFrom = valueNone
+				}
+				continue
+			}
+			if hasDst {
+				s.prf[f][preg] = e.rec.DstVal
+				wbPorts[f]--
+				s.broadcast(th, e.ren.Dst.Class, e.ren.Dst.Tag)
+			}
+			e.st = stCompleted
+			s.leaveIQ(e)
+			if e.isBranch {
+				s.resolveBranch(th, e, now)
+			}
+		}
+	}
+	return nil
+}
+
+// leaveIQ releases the instruction-queue slot. Under write-back allocation
+// an instruction holds its slot until it completes successfully (it may
+// need to re-execute); the other schemes free it at issue.
+func (s *Sim) leaveIQ(e *robEntry) {
+	if e.inIQ {
+		e.inIQ = false
+		s.iqCount--
+	}
+}
+
+func (s *Sim) resolveBranch(th *thread, e *robEntry, now int64) {
+	if e.isCond {
+		s.bht.Update(e.rec.PC, e.rec.Taken)
+		s.stats.CondBranches++
+		if e.mispred {
+			s.stats.Mispredicts++
+		}
+	}
+	if e.mispred && th.frozen && th.frozenOn == e.inum {
+		th.frozen = false
+		th.nextFetchAt = now + int64(s.cfg.RecoveryPenalty)
+	}
+}
+
+// broadcast wakes every waiting operand of the owning thread matching the
+// completed tag (tags are per-thread namespaces).
+func (s *Sim) broadcast(th *thread, class isa.RegClass, tag int) {
+	for i := 0; i < th.robCount; i++ {
+		e := th.at(i)
+		if e.st == stCompleted {
+			continue
+		}
+		if !e.src1Ready && matches(e.ren.Src1, class, tag) {
+			e.src1Ready = true
+		}
+		if !e.src2Ready && matches(e.ren.Src2, class, tag) {
+			e.src2Ready = true
+		}
+	}
+}
+
+func matches(op core.SrcOp, class isa.RegClass, tag int) bool {
+	return op.Present && !op.Zero && op.Class == class && op.Tag == tag
+}
+
+func classIdxOf(c isa.RegClass) int {
+	if c == isa.RegInt {
+		return 0
+	}
+	return 1
+}
+
+// --- execute (memory pipeline) -------------------------------------------------
+
+func (s *Sim) executeStage(now int64) error {
+	ports := s.cfg.CachePorts
+	// The post-commit store buffer gets first claim on one port. Without
+	// this guarantee, re-executing loads (VP write-back allocation) can
+	// monopolize the ports every cycle, the buffer never drains, commit
+	// stalls, no register is ever freed, and the machine livelocks —
+	// the §3.3 progress argument needs committed stores to retire.
+	if len(s.committedStores) > 0 {
+		if _, ok := s.dcache.Access(now, s.committedStores[0], true); ok {
+			s.committedStores = s.committedStores[1:]
+			ports--
+		}
+	}
+	for _, th := range s.order() {
+		for i := 0; i < th.robCount; i++ {
+			e := th.at(i)
+			if e.st != stExecuting || e.aguDoneAt == timeUnset || e.aguDoneAt > now {
+				continue
+			}
+			switch {
+			case e.isStore:
+				sqe := th.sqEntry(e.inum)
+				if sqe == nil {
+					return fmt.Errorf("pipeline: store %d missing from store queue", e.inum)
+				}
+				if !sqe.eaKnown {
+					sqe.ea = e.rec.EA
+					sqe.eaKnown = true
+					if s.cfg.Disambiguation == DisambSpeculative {
+						if err := s.checkViolation(th, sqe, now); err != nil {
+							return err
+						}
+					}
+				}
+			case e.isLoad && e.valueFrom == valueNone:
+				if err := s.tryLoad(th, e, now, &ports); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Post-commit stores drain through the remaining cache ports.
+	for ports > 0 && len(s.committedStores) > 0 {
+		if _, ok := s.dcache.Access(now, s.committedStores[0], true); !ok {
+			break // all MSHRs busy; retry next cycle
+		}
+		s.committedStores = s.committedStores[1:]
+		ports--
+	}
+	return nil
+}
+
+// tryLoad attempts to give a post-AGU load its value: forwarded from the
+// youngest older matching store in its thread, or from the shared cache.
+func (s *Sim) tryLoad(th *thread, e *robEntry, now int64, ports *int) error {
+	var match *sqEntry
+	for i := len(th.sq) - 1; i >= 0; i-- {
+		sqe := &th.sq[i]
+		if sqe.inum >= e.inum {
+			continue
+		}
+		if !sqe.eaKnown {
+			if s.cfg.Disambiguation == DisambConservative {
+				return nil // wait for every older store address
+			}
+			continue // speculate past the unknown address
+		}
+		if sqe.ea == e.rec.EA {
+			match = sqe
+			break
+		}
+	}
+	if match != nil {
+		producer := th.entryByInum(match.inum)
+		if producer == nil {
+			return fmt.Errorf("pipeline: forwarding store %d not in window", match.inum)
+		}
+		if !producer.src2Ready {
+			return nil // data not yet available; retry
+		}
+		e.valueFrom = match.inum
+		e.completeAt = now + int64(s.cfg.ForwardLatency)
+		s.stats.LoadsForwarded++
+		return nil
+	}
+	if *ports == 0 {
+		return nil
+	}
+	out, ok := s.dcache.Access(now, th.addr(e.rec.EA), false)
+	if !ok {
+		return nil // MSHRs exhausted; retry
+	}
+	*ports = *ports - 1
+	e.valueFrom = valueMemory
+	e.completeAt = out.ReadyAt
+	return nil
+}
+
+// checkViolation enforces memory ordering when a store address resolves:
+// any younger load in the same thread that already obtained its value from
+// somewhere older than this store read stale data; it and everything
+// younger is squashed and re-fetched (PA-8000 address-reorder-buffer
+// behaviour).
+func (s *Sim) checkViolation(th *thread, sqe *sqEntry, now int64) error {
+	start := sqe.inum + 1 - th.headInum // ROB offset of the first younger entry
+	for i := int(start); i < th.robCount; i++ {
+		e := th.at(i)
+		if !e.isLoad || e.rec.EA != sqe.ea {
+			continue
+		}
+		if e.valueFrom != valueNone && e.valueFrom < sqe.inum {
+			s.stats.MemViolations++
+			return s.squashFrom(th, e.inum, now)
+		}
+	}
+	return nil
+}
+
+// squashFrom flushes every instruction of the thread from inum (inclusive)
+// to its window tail, restores the renamer newest-first, and re-fetches
+// from inum.
+func (s *Sim) squashFrom(th *thread, inum int64, now int64) error {
+	tail := th.headInum + int64(th.robCount) - 1
+	for n := tail; n >= inum; n-- {
+		e := th.entryByInum(n)
+		if e == nil {
+			return fmt.Errorf("pipeline: squash of %d not in window", n)
+		}
+		s.leaveIQ(e)
+		th.ren.Squash(n)
+		if e.isStore {
+			if len(th.sq) == 0 || th.sq[len(th.sq)-1].inum != n {
+				return fmt.Errorf("pipeline: store queue out of sync squashing %d", n)
+			}
+			th.sq = th.sq[:len(th.sq)-1]
+		}
+		s.stats.SquashedByMem++
+		th.robCount--
+	}
+	// The mispredicted branch the front end froze on may be in the
+	// squashed ROB range or still in the fetch buffer (about to be
+	// discarded); either way it is younger than the squash point and the
+	// freeze must lift, or fetch never resumes.
+	if th.frozen && th.frozenOn >= inum {
+		th.frozen = false
+	}
+	th.fetchBuf = th.fetchBuf[:0]
+	th.fetchSeq = inum
+	th.nextFetchAt = now + 1 + int64(s.cfg.RecoveryPenalty)
+	// The squashed instructions must be re-fetched even if the generator
+	// already reported end-of-trace: the stream window still buffers them.
+	th.traceEnded = false
+	return nil
+}
+
+// --- issue ----------------------------------------------------------------------
+
+func (s *Sim) issueStage(now int64) error {
+	budget := s.cfg.IssueWidth
+	rfReads := [2]int{s.cfg.RFReadPorts, s.cfg.RFReadPorts}
+	for _, th := range s.order() {
+		for i := 0; i < th.robCount && budget > 0; i++ {
+			e := th.at(i)
+			if e.st != stWaiting || !e.ready() {
+				continue
+			}
+			info := e.rec.Inst.Op.Info()
+			pool := s.kindToPool[info.Kind]
+			unit := s.freeUnit(pool, now)
+			if unit < 0 {
+				continue
+			}
+			needReads := readPortNeeds(e)
+			if rfReads[0] < needReads[0] || rfReads[1] < needReads[1] {
+				continue
+			}
+			if !th.ren.AllocateAtIssue(e.inum) {
+				continue // VP issue allocation refused; stays in the queue
+			}
+			if err := s.readIssueOperands(th, e); err != nil {
+				return err
+			}
+			th.ren.NoteRead(e.inum, true, !e.isStore)
+
+			rfReads[0] -= needReads[0]
+			rfReads[1] -= needReads[1]
+			if info.Pipelined {
+				s.pools[pool][unit] = now + 1
+			} else {
+				s.pools[pool][unit] = now + int64(info.Latency)
+			}
+			budget--
+			e.executions++
+			s.stats.Issued++
+			e.st = stExecuting
+			if e.isLoad || e.isStore {
+				e.aguDoneAt = now + int64(info.Latency) // effective-address unit
+				e.completeAt = timeUnset
+			} else {
+				e.completeAt = now + int64(info.Latency)
+			}
+			if s.cfg.Scheme != core.SchemeVPWriteback {
+				s.leaveIQ(e)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Sim) freeUnit(pool int, now int64) int {
+	for u, busyUntil := range s.pools[pool] {
+		if busyUntil <= now {
+			return u
+		}
+	}
+	return -1
+}
+
+// readPortNeeds counts register-file reads per class performed at issue.
+// Store data is read later (at completion) and is not charged a port — a
+// documented simplification.
+func readPortNeeds(e *robEntry) [2]int {
+	var n [2]int
+	if op := e.ren.Src1; op.Present && !op.Zero {
+		n[classIdxOf(op.Class)]++
+	}
+	if op := e.ren.Src2; op.Present && !op.Zero && !e.isStore {
+		n[classIdxOf(op.Class)]++
+	}
+	return n
+}
+
+// readIssueOperands performs the golden-model check on the operands read
+// at issue time.
+func (s *Sim) readIssueOperands(th *thread, e *robEntry) error {
+	if err := s.checkOperand(th, e, e.ren.Src1, e.rec.Src1Val); err != nil {
+		return err
+	}
+	if !e.isStore {
+		if err := s.checkOperand(th, e, e.ren.Src2, e.rec.Src2Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkOperand verifies that the physical register behind the operand
+// holds the architecturally correct value.
+func (s *Sim) checkOperand(th *thread, e *robEntry, op core.SrcOp, want uint64) error {
+	if !op.Present || op.Zero || !s.cfg.ValueCheck || !e.rec.HasValues {
+		return nil
+	}
+	f := classIdxOf(op.Class)
+	preg := th.ren.ReadPhys(op.Class, op.Tag)
+	if got := s.prf[f][preg]; got != want {
+		return fmt.Errorf("pipeline: golden-model mismatch at thread %d inum %d (%s): operand %s tag %d -> p%d holds %#x, architectural value %#x",
+			th.id, e.inum, e.rec.Inst, op.Class, op.Tag, preg, got, want)
+	}
+	return nil
+}
+
+// --- dispatch (decode + rename) ---------------------------------------------------
+
+func (s *Sim) dispatchStage(now int64) error {
+	budget := s.cfg.DecodeWidth
+	for _, th := range s.order() {
+		for budget > 0 && len(th.fetchBuf) > 0 {
+			if th.robCount == len(th.rob) {
+				s.stats.ROBStalls++
+				break
+			}
+			if s.iqCount == s.cfg.IQSize {
+				s.stats.IQStalls++
+				break
+			}
+			item := th.fetchBuf[0]
+			renamed, ok := th.ren.Rename(item.rec.Seq, item.rec.Inst)
+			if !ok {
+				break // conventional scheme out of registers; retry next cycle
+			}
+			th.fetchBuf = th.fetchBuf[1:]
+
+			slot := (th.robHead + th.robCount) % len(th.rob)
+			info := item.rec.Inst.Op.Info()
+			th.rob[slot] = robEntry{
+				inum:       item.rec.Seq,
+				rec:        item.rec,
+				ren:        renamed,
+				st:         stWaiting,
+				inIQ:       true,
+				src1Ready:  !renamed.Src1.Present || renamed.Src1.Zero || renamed.Src1.Ready,
+				src2Ready:  !renamed.Src2.Present || renamed.Src2.Zero || renamed.Src2.Ready,
+				completeAt: timeUnset,
+				aguDoneAt:  timeUnset,
+				isLoad:     info.IsLoad,
+				isStore:    info.IsStore,
+				valueFrom:  valueNone,
+				isBranch:   info.IsBranch,
+				isCond:     info.IsBranch && !info.IsUncond,
+				mispred:    item.mispred,
+			}
+			th.robCount++
+			s.iqCount++
+			budget--
+			if info.IsStore {
+				th.sq = append(th.sq, sqEntry{inum: item.rec.Seq})
+			}
+		}
+	}
+	return nil
+}
+
+// --- fetch -------------------------------------------------------------------------
+
+// fetchStage gives the whole fetch bandwidth to one thread per cycle,
+// rotating among threads that can fetch (round-robin, the classic simple
+// SMT fetch policy). With one thread this is the paper's front end.
+func (s *Sim) fetchStage(now int64) {
+	for _, th := range s.order() {
+		if th.traceEnded || th.frozen || now < th.nextFetchAt || len(th.fetchBuf) >= fetchBufSize {
+			continue
+		}
+		s.fetchThread(th, now)
+		return
+	}
+}
+
+func (s *Sim) fetchThread(th *thread, now int64) {
+	for budget := s.cfg.FetchWidth; budget > 0 && len(th.fetchBuf) < fetchBufSize; budget-- {
+		rec, ok := th.stream.At(th.fetchSeq)
+		if !ok {
+			th.traceEnded = true
+			return
+		}
+		item := fetchItem{rec: rec}
+		info := rec.Inst.Op.Info()
+		if info.IsBranch {
+			predTaken := true // unconditional and indirect: perfect target prediction
+			if !info.IsUncond {
+				predTaken = s.bht.Predict(rec.PC)
+			}
+			if predTaken != rec.Taken {
+				// Mispredicted: the branch itself is fetched, then the
+				// front end freezes until it resolves.
+				item.mispred = true
+				th.fetchBuf = append(th.fetchBuf, item)
+				th.fetchSeq++
+				th.frozen = true
+				th.frozenOn = rec.Seq
+				return
+			}
+			th.fetchBuf = append(th.fetchBuf, item)
+			th.fetchSeq++
+			if rec.Taken {
+				return // a taken branch ends the consecutive fetch group
+			}
+			continue
+		}
+		th.fetchBuf = append(th.fetchBuf, item)
+		th.fetchSeq++
+	}
+}
+
+// --- statistics ---------------------------------------------------------------------
+
+func (s *Sim) sample() {
+	rob := 0
+	for _, th := range s.threads {
+		rob += th.robCount
+	}
+	s.stats.ROBOccupancySum += int64(rob)
+	s.stats.IQOccupancySum += int64(s.iqCount)
+	// InUse is pool-wide; any thread's renamer reports the shared files.
+	s.stats.IntRegsInUseSum += int64(s.threads[0].ren.InUse(isa.RegInt))
+	s.stats.FPRegsInUseSum += int64(s.threads[0].ren.InUse(isa.RegFP))
+}
+
+// PoolCheck validates the shared register pool against every thread's
+// holdings (Debug helper; called by tests).
+func (s *Sim) PoolCheck() error {
+	members := make([]core.PoolMember, 0, len(s.threads))
+	for _, th := range s.threads {
+		members = append(members, th.ren.(core.PoolMember))
+	}
+	return s.pool.CheckInvariants(members...)
+}

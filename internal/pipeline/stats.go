@@ -1,0 +1,118 @@
+package pipeline
+
+import "fmt"
+
+// Stats aggregates everything a run measures. IPC (committed instructions
+// per cycle) is the paper's headline metric; the register-pressure and
+// re-execution numbers support its secondary claims.
+type Stats struct {
+	Cycles    int64
+	Committed int64
+	Issued    int64 // issue events, counting re-executions
+
+	// Renaming behaviour.
+	Reexecutions   int64 // write-back allocation failures (VP write-back)
+	IssueBlocks    int64 // issue allocation refusals (VP issue)
+	RenameRegStall int64 // decode stalls with an empty free list (conventional)
+	ROBStalls      int64 // decode stalls on a full reorder buffer
+	IQStalls       int64 // decode stalls on a full instruction queue
+	EarlyReleases  int64 // conventional early-release ablation events
+
+	// Branches.
+	CondBranches int64
+	Mispredicts  int64
+
+	// Memory.
+	Loads           int64
+	Stores          int64
+	LoadsForwarded  int64
+	MemViolations   int64 // speculative disambiguation squashes
+	SquashedByMem   int64 // instructions flushed by those squashes
+	CommitSBStalls  int64 // commit blocked on a full store buffer
+	CacheAccesses   int64
+	CacheMisses     int64 // primary misses
+	CacheMergedMiss int64
+	MSHRStallCycles int64
+	PeakMSHRs       int
+
+	// Occupancy integrals (divide by Cycles for averages).
+	ROBOccupancySum int64
+	IQOccupancySum  int64
+	IntRegsInUseSum int64
+	FPRegsInUseSum  int64
+
+	// Register-lifetime accounting (the §3.1 pressure metric measured in
+	// vivo): total cycles freed registers were held, and how many were
+	// freed.
+	RegLifetimeSum int64
+	RegsFreed      int64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// ExecPerCommit returns how many times the average committed instruction
+// was executed (1.0 = no re-execution; the paper reports 3.3 for the VP
+// write-back scheme on its workloads).
+func (s Stats) ExecPerCommit() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Committed)
+}
+
+// MispredictRate returns mispredictions per conditional branch.
+func (s Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// MissRatio returns primary+merged cache misses per access.
+func (s Stats) MissRatio() float64 {
+	if s.CacheAccesses == 0 {
+		return 0
+	}
+	return float64(s.CacheMisses+s.CacheMergedMiss) / float64(s.CacheAccesses)
+}
+
+// AvgRegLifetime returns the mean number of cycles a physical register was
+// held per produced value — the paper's §3.1 register-pressure metric.
+// Late allocation exists to shrink exactly this number.
+func (s Stats) AvgRegLifetime() float64 {
+	return avgOver(s.RegLifetimeSum, s.RegsFreed)
+}
+
+// AvgROB returns the average reorder-buffer occupancy.
+func (s Stats) AvgROB() float64 { return avgOver(s.ROBOccupancySum, s.Cycles) }
+
+// AvgIQ returns the average instruction-queue occupancy.
+func (s Stats) AvgIQ() float64 { return avgOver(s.IQOccupancySum, s.Cycles) }
+
+// AvgIntRegs returns the average number of allocated integer registers.
+func (s Stats) AvgIntRegs() float64 { return avgOver(s.IntRegsInUseSum, s.Cycles) }
+
+// AvgFPRegs returns the average number of allocated FP registers.
+func (s Stats) AvgFPRegs() float64 { return avgOver(s.FPRegsInUseSum, s.Cycles) }
+
+func avgOver(sum, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// String renders a compact human-readable summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"cycles=%d committed=%d ipc=%.3f exec/commit=%.2f mispred=%.3f missratio=%.3f avgROB=%.1f avgIntRegs=%.1f avgFPRegs=%.1f reexec=%d violations=%d",
+		s.Cycles, s.Committed, s.IPC(), s.ExecPerCommit(), s.MispredictRate(),
+		s.MissRatio(), s.AvgROB(), s.AvgIntRegs(), s.AvgFPRegs(),
+		s.Reexecutions, s.MemViolations)
+}

@@ -1,0 +1,9 @@
+package sim
+
+import "repro/internal/pipeline"
+
+func defaultTestConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.Debug = true
+	return cfg
+}

@@ -1,0 +1,61 @@
+// Package sim orchestrates single simulation runs: it binds a workload (by
+// catalog name or a custom trace generator) to a pipeline configuration,
+// runs it for a bounded number of instructions, and returns the combined
+// result. The experiment runners in internal/experiments are thin sweeps
+// over this entry point.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Spec describes one run.
+type Spec struct {
+	// Workload names a kernel from the catalog. Leave empty and set Gen
+	// to drive the pipeline with a custom trace.
+	Workload string
+	Gen      trace.Generator
+
+	Config   pipeline.Config
+	MaxInstr int64 // trace length; <= 0 means run the trace to completion
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload    string
+	Stats       pipeline.Stats
+	BHTAccuracy float64
+}
+
+// Run executes the specification.
+func Run(spec Spec) (Result, error) {
+	gen := spec.Gen
+	name := spec.Workload
+	if gen == nil {
+		w, ok := workloads.ByName(spec.Workload)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: unknown workload %q", spec.Workload)
+		}
+		var err error
+		gen, err = w.NewGen()
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if spec.MaxInstr > 0 {
+		gen = trace.Take(gen, spec.MaxInstr)
+	}
+	s, err := pipeline.New(spec.Config, gen)
+	if err != nil {
+		return Result{}, err
+	}
+	stats, err := s.Run(0)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", name, err)
+	}
+	return Result{Workload: name, Stats: stats, BHTAccuracy: s.BHT().Accuracy()}, nil
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// SMTSpec describes a simultaneous-multithreading run: one workload per
+// hardware thread, a shared machine, a per-thread instruction budget.
+type SMTSpec struct {
+	// Workloads names one kernel per hardware thread.
+	Workloads []string
+	Config    pipeline.Config
+	// MaxInstrPerThread bounds every thread's trace.
+	MaxInstrPerThread int64
+}
+
+// SMTResult is the outcome of an SMT run.
+type SMTResult struct {
+	Stats              pipeline.Stats
+	PerThreadCommitted []int64
+}
+
+// RunSMT executes the specification and runs every thread to completion.
+func RunSMT(spec SMTSpec) (SMTResult, error) {
+	if len(spec.Workloads) == 0 {
+		return SMTResult{}, fmt.Errorf("sim: SMT run needs at least one workload")
+	}
+	var gens []trace.Generator
+	for _, name := range spec.Workloads {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return SMTResult{}, fmt.Errorf("sim: unknown workload %q", name)
+		}
+		gen, err := w.NewGen()
+		if err != nil {
+			return SMTResult{}, err
+		}
+		if spec.MaxInstrPerThread > 0 {
+			gen = trace.Take(gen, spec.MaxInstrPerThread)
+		}
+		gens = append(gens, gen)
+	}
+	s, err := pipeline.NewSMT(spec.Config, gens)
+	if err != nil {
+		return SMTResult{}, err
+	}
+	stats, err := s.Run(0)
+	if err != nil {
+		return SMTResult{}, fmt.Errorf("sim: smt %v: %w", spec.Workloads, err)
+	}
+	out := SMTResult{Stats: stats}
+	for i := 0; i < s.Threads(); i++ {
+		out.PerThreadCommitted = append(out.PerThreadCommitted, s.ThreadCommitted(i))
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+// Package synth generates stochastic instruction traces with controlled
+// microarchitectural characteristics: operation mix, true-dependence
+// distance, cache-miss behaviour and branch predictability. It complements
+// the emulator-backed kernels in internal/workloads: synthetic traces carry
+// no golden values (trace.Record.HasValues is false) but let tests and
+// ablation experiments dial one property at a time.
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Params controls the generated stream. Fractions need not sum to 1; the
+// remainder becomes single-cycle integer ALU work. The zero value is
+// invalid; start from Defaults().
+type Params struct {
+	Seed int64
+
+	// Operation mix (fractions of all instructions).
+	FracLoad    float64
+	FracStore   float64
+	FracBranch  float64
+	FracFPALU   float64
+	FracFPMul   float64
+	FracFPDiv   float64
+	FracIntMul  float64
+	FracIntDiv  float64
+	FracFPLoads float64 // fraction of loads that target the FP file
+
+	// MeanDepDist is the mean true-dependence distance: each source
+	// operand names the destination of an instruction ~Geometric(1/mean)
+	// positions back. Small values mean serial code.
+	MeanDepDist float64
+
+	// MissRatio is the fraction of memory accesses that touch a fresh
+	// cache line (guaranteed cold); the rest hit a small resident set.
+	MissRatio float64
+
+	// BiasedBranchFrac is the fraction of branches that are strongly
+	// biased taken (predictable loop-like branches); the rest are 50/50
+	// data-dependent branches the 2-bit predictor cannot learn.
+	BiasedBranchFrac float64
+}
+
+// Defaults returns a balanced integer-program-like parameter set.
+func Defaults() Params {
+	return Params{
+		Seed:             1,
+		FracLoad:         0.25,
+		FracStore:        0.10,
+		FracBranch:       0.15,
+		MeanDepDist:      6,
+		MissRatio:        0.05,
+		BiasedBranchFrac: 0.85,
+	}
+}
+
+// FPStream returns parameters resembling a streaming FP kernel.
+func FPStream() Params {
+	p := Defaults()
+	p.FracLoad = 0.30
+	p.FracStore = 0.08
+	p.FracBranch = 0.06
+	p.FracFPALU = 0.25
+	p.FracFPMul = 0.12
+	p.FracFPLoads = 0.9
+	p.MeanDepDist = 4
+	p.MissRatio = 0.25
+	p.BiasedBranchFrac = 1.0
+	return p
+}
+
+// gen implements trace.Generator.
+type gen struct {
+	p   Params
+	rng *rand.Rand
+
+	pc        int
+	seq       int64
+	missLine  uint64 // next cold line address
+	residents []uint64
+
+	// Ring of recent destination registers per class, used to realize the
+	// dependence-distance distribution.
+	recentInt []isa.Reg
+	recentFP  []isa.Reg
+	nextInt   uint8
+	nextFP    uint8
+}
+
+// New builds a generator. The stream is infinite and deterministic for a
+// given Params (including Seed).
+func New(p Params) trace.Generator {
+	g := &gen{
+		p:        p,
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		missLine: 1 << 30,
+	}
+	// A small resident working set: 64 lines ≈ 2 KB, comfortably inside
+	// the 16 KB L1.
+	for i := 0; i < 64; i++ {
+		g.residents = append(g.residents, uint64(isa.DefaultDataBase)+uint64(i*32))
+	}
+	return g
+}
+
+const loopLen = 64 // synthetic "loop body" length; PCs cycle mod loopLen
+
+func (g *gen) Next() (trace.Record, bool) {
+	rec := trace.Record{Seq: g.seq, PC: g.pc}
+	in := g.pick()
+	rec.Inst = in
+	info := in.Op.Info()
+
+	switch {
+	case info.IsLoad || info.IsStore:
+		rec.EA = g.address()
+	case info.IsBranch:
+		// The branch's own PC determines its behaviour class so the
+		// 2-bit table sees a consistent stream per slot.
+		biased := float64(g.pc%loopLen)/loopLen < g.p.BiasedBranchFrac
+		if biased {
+			rec.Taken = g.rng.Float64() < 0.95
+		} else {
+			rec.Taken = g.rng.Float64() < 0.5
+		}
+		// Taken branches skip one instruction (wrapping inside the
+		// synthetic loop body), so taken vs not-taken genuinely
+		// diverge and redirect fetch.
+		rec.Inst.Target = (g.pc + 2) % loopLen
+		if rec.Taken {
+			rec.NextPC = rec.Inst.Target
+		}
+	}
+	if !info.IsBranch || !rec.Taken {
+		rec.NextPC = (g.pc + 1) % loopLen
+	}
+	g.pc = rec.NextPC
+	g.seq++
+	g.note(rec.Inst.Dst)
+	return rec, true
+}
+
+// pick chooses the next instruction according to the mix.
+func (g *gen) pick() isa.Inst {
+	r := g.rng.Float64()
+	p := g.p
+	switch {
+	case r < p.FracLoad:
+		if g.rng.Float64() < p.FracFPLoads {
+			return isa.Inst{Op: isa.LDT, Dst: g.freshFP(), Src1: g.srcInt()}
+		}
+		return isa.Inst{Op: isa.LDQ, Dst: g.freshInt(), Src1: g.srcInt()}
+	case r < p.FracLoad+p.FracStore:
+		if g.rng.Float64() < p.FracFPLoads {
+			return isa.Inst{Op: isa.STT, Src1: g.srcInt(), Src2: g.srcFP()}
+		}
+		return isa.Inst{Op: isa.STQ, Src1: g.srcInt(), Src2: g.srcInt()}
+	case r < p.FracLoad+p.FracStore+p.FracBranch:
+		return isa.Inst{Op: isa.BNE, Src1: g.srcInt()}
+	case r < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPALU:
+		return isa.Inst{Op: isa.FADD, Dst: g.freshFP(), Src1: g.srcFP(), Src2: g.srcFP()}
+	case r < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPALU+p.FracFPMul:
+		return isa.Inst{Op: isa.FMUL, Dst: g.freshFP(), Src1: g.srcFP(), Src2: g.srcFP()}
+	case r < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPALU+p.FracFPMul+p.FracFPDiv:
+		return isa.Inst{Op: isa.FDIV, Dst: g.freshFP(), Src1: g.srcFP(), Src2: g.srcFP()}
+	case r < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPALU+p.FracFPMul+p.FracFPDiv+p.FracIntMul:
+		return isa.Inst{Op: isa.MUL, Dst: g.freshInt(), Src1: g.srcInt(), Src2: g.srcInt()}
+	case r < p.FracLoad+p.FracStore+p.FracBranch+p.FracFPALU+p.FracFPMul+p.FracFPDiv+p.FracIntMul+p.FracIntDiv:
+		return isa.Inst{Op: isa.DIV, Dst: g.freshInt(), Src1: g.srcInt(), Src2: g.srcInt()}
+	default:
+		return isa.Inst{Op: isa.ADD, Dst: g.freshInt(), Src1: g.srcInt(), Src2: g.srcInt()}
+	}
+}
+
+// address synthesizes an effective address: cold line (guaranteed miss) or a
+// resident one.
+func (g *gen) address() uint64 {
+	if g.rng.Float64() < g.p.MissRatio {
+		a := g.missLine
+		g.missLine += 32 // next line; never revisited
+		return a
+	}
+	return g.residents[g.rng.Intn(len(g.residents))]
+}
+
+// freshInt/freshFP allocate destination registers round-robin through
+// r1..r30 / f1..f30 (avoiding the zero register and r0/f0, which stay
+// loop-invariant).
+func (g *gen) freshInt() isa.Reg {
+	g.nextInt = g.nextInt%30 + 1
+	return isa.IntReg(int(g.nextInt))
+}
+
+func (g *gen) freshFP() isa.Reg {
+	g.nextFP = g.nextFP%30 + 1
+	return isa.FPReg(int(g.nextFP))
+}
+
+// note records a destination for future dependence edges.
+func (g *gen) note(d isa.Reg) {
+	const window = 32
+	switch d.Class {
+	case isa.RegInt:
+		g.recentInt = append(g.recentInt, d)
+		if len(g.recentInt) > window {
+			g.recentInt = g.recentInt[1:]
+		}
+	case isa.RegFP:
+		g.recentFP = append(g.recentFP, d)
+		if len(g.recentFP) > window {
+			g.recentFP = g.recentFP[1:]
+		}
+	}
+}
+
+// srcInt/srcFP pick a source register whose producer is ~Geometric(mean)
+// instructions back.
+func (g *gen) srcInt() isa.Reg { return g.src(g.recentInt, isa.RegInt) }
+func (g *gen) srcFP() isa.Reg  { return g.src(g.recentFP, isa.RegFP) }
+
+func (g *gen) src(recent []isa.Reg, class isa.RegClass) isa.Reg {
+	if len(recent) == 0 {
+		if class == isa.RegInt {
+			return isa.IntReg(0)
+		}
+		return isa.FPReg(0)
+	}
+	d := g.geometric()
+	if d >= len(recent) {
+		d = len(recent) - 1
+	}
+	return recent[len(recent)-1-d]
+}
+
+func (g *gen) geometric() int {
+	mean := g.p.MeanDepDist
+	if mean < 1 {
+		mean = 1
+	}
+	d := 0
+	p := 1 / mean
+	for g.rng.Float64() > p && d < 64 {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func TestMixMatchesParams(t *testing.T) {
+	p := Defaults()
+	p.FracLoad = 0.3
+	p.FracStore = 0.1
+	p.FracBranch = 0.2
+	const n = 50000
+	m := trace.MeasureMix(New(p), n)
+	if m.Total != n {
+		t.Fatalf("generator ended early at %d", m.Total)
+	}
+	within := func(got, want, tol float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s fraction = %.3f, want %.3f±%.3f", what, got, want, tol)
+		}
+	}
+	within(m.Frac(m.Loads), 0.3, 0.02, "load")
+	within(m.Frac(m.Stores), 0.1, 0.02, "store")
+	within(m.Frac(m.Branches), 0.2, 0.02, "branch")
+}
+
+func TestFPStreamHasFPWork(t *testing.T) {
+	m := trace.MeasureMix(New(FPStream()), 20000)
+	if m.FPALU == 0 || m.FPMul == 0 {
+		t.Error("FPStream must generate FP work")
+	}
+	if m.FPDst <= m.IntDst {
+		t.Errorf("FPStream dests: fp %d should exceed int %d", m.FPDst, m.IntDst)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Defaults()
+	a := trace.Collect(New(p), 2000)
+	b := trace.Collect(New(p), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between identical generators", i)
+		}
+	}
+	p.Seed = 2
+	c := trace.Collect(New(p), 2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should change the stream")
+	}
+}
+
+func TestPCFlowIsConsistent(t *testing.T) {
+	recs := trace.Collect(New(Defaults()), 5000)
+	for i := 0; i+1 < len(recs); i++ {
+		if recs[i].NextPC != recs[i+1].PC {
+			t.Fatalf("record %d: NextPC %d but next PC is %d", i, recs[i].NextPC, recs[i+1].PC)
+		}
+		info := recs[i].Inst.Op.Info()
+		if info.IsBranch && recs[i].Taken && recs[i].NextPC != recs[i].Inst.Target {
+			t.Fatalf("record %d: taken branch NextPC %d != target %d", i, recs[i].NextPC, recs[i].Inst.Target)
+		}
+	}
+}
+
+func TestMissRatioControlsColdLines(t *testing.T) {
+	count := func(ratio float64) int {
+		p := Defaults()
+		p.MissRatio = ratio
+		seen := map[uint64]bool{}
+		cold := 0
+		for _, r := range trace.Collect(New(p), 20000) {
+			info := r.Inst.Op.Info()
+			if !info.IsLoad && !info.IsStore {
+				continue
+			}
+			line := r.EA / 32
+			if !seen[line] {
+				cold++
+				seen[line] = true
+			}
+		}
+		return cold
+	}
+	few, many := count(0.01), count(0.5)
+	if many < few*5 {
+		t.Errorf("cold lines: ratio 0.5 gave %d, ratio 0.01 gave %d; expected a large increase", many, few)
+	}
+}
+
+func TestDependenceDistance(t *testing.T) {
+	// With a small mean distance, sources should mostly name very recent
+	// destinations. Measure the realized distance distribution.
+	meanOf := func(mean float64) float64 {
+		p := Defaults()
+		p.MeanDepDist = mean
+		p.FracBranch = 0 // keep every instruction a producer+consumer
+		p.FracLoad = 0
+		p.FracStore = 0
+		recs := trace.Collect(New(p), 20000)
+		lastWrite := map[isa.Reg]int{}
+		var total, nsamples float64
+		for i, r := range recs {
+			for _, s := range r.Inst.Sources() {
+				if w, ok := lastWrite[s]; ok {
+					total += float64(i - w)
+					nsamples++
+				}
+			}
+			if r.Inst.HasDst() {
+				lastWrite[r.Inst.Dst] = i
+			}
+		}
+		return total / nsamples
+	}
+	short, long := meanOf(1.5), meanOf(12)
+	if short >= long {
+		t.Errorf("realized dependence distance: mean 1.5 gave %.2f, mean 12 gave %.2f; want increasing", short, long)
+	}
+	if short > 4 {
+		t.Errorf("short chains: realized distance %.2f too large", short)
+	}
+}
+
+func TestSyntheticRecordsHaveNoValues(t *testing.T) {
+	for _, r := range trace.Collect(New(Defaults()), 100) {
+		if r.HasValues {
+			t.Fatal("synthetic traces must not claim golden values")
+		}
+	}
+}
+
+func TestBranchBias(t *testing.T) {
+	taken := func(biasFrac float64) float64 {
+		p := Defaults()
+		p.BiasedBranchFrac = biasFrac
+		p.FracBranch = 0.3
+		m := trace.MeasureMix(New(p), 30000)
+		return float64(m.Taken) / float64(m.Branches)
+	}
+	allBiased, allRandom := taken(1.0), taken(0.0)
+	if allBiased < 0.9 {
+		t.Errorf("fully biased branches taken %.2f, want ≥0.9", allBiased)
+	}
+	if allRandom < 0.4 || allRandom > 0.6 {
+		t.Errorf("random branches taken %.2f, want ≈0.5", allRandom)
+	}
+}

@@ -1,0 +1,230 @@
+// Package trace defines the committed-path instruction trace that drives the
+// timing simulator, mirroring the paper's trace-driven methodology (ATOM
+// traces of Alpha binaries there; functionally-emulated kernels here).
+//
+// A Record describes one dynamic instruction: the decoded instruction, its
+// effective address if it touches memory, its branch outcome, and —
+// when the trace was produced by the functional emulator — the operand and
+// result values, which the pipeline uses as a golden model to detect
+// renaming bugs.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Record is one dynamic (committed-path) instruction.
+type Record struct {
+	Seq  int64 // position in the dynamic stream, starting at 0
+	PC   int   // instruction index
+	Inst isa.Inst
+
+	EA     uint64 // effective address (loads/stores)
+	Taken  bool   // outcome (branches)
+	NextPC int    // PC of the next dynamic instruction
+
+	// Golden values. Values are stored as raw 64-bit patterns
+	// (math.Float64bits for FP). HasValues is false for synthetic traces.
+	HasValues bool
+	DstVal    uint64
+	Src1Val   uint64
+	Src2Val   uint64
+}
+
+// Generator produces a trace one record at a time. Next reports ok=false
+// when the trace is exhausted.
+type Generator interface {
+	Next() (Record, bool)
+}
+
+// GenFunc adapts a function to the Generator interface.
+type GenFunc func() (Record, bool)
+
+// Next calls f.
+func (f GenFunc) Next() (Record, bool) { return f() }
+
+// FromSlice returns a generator that replays recs, renumbering Seq from 0.
+func FromSlice(recs []Record) Generator {
+	i := 0
+	return GenFunc(func() (Record, bool) {
+		if i >= len(recs) {
+			return Record{}, false
+		}
+		r := recs[i]
+		r.Seq = int64(i)
+		i++
+		return r, true
+	})
+}
+
+// Take caps gen at n records.
+func Take(gen Generator, n int64) Generator {
+	var done int64
+	return GenFunc(func() (Record, bool) {
+		if done >= n {
+			return Record{}, false
+		}
+		r, ok := gen.Next()
+		if ok {
+			done++
+		}
+		return r, ok
+	})
+}
+
+// Collect drains up to max records from gen into a slice.
+func Collect(gen Generator, max int64) []Record {
+	var out []Record
+	for int64(len(out)) < max {
+		r, ok := gen.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Stream adapts a Generator for the out-of-order pipeline, which needs
+// random access within a sliding window: the fetch stage walks forward, a
+// squash rewinds the fetch point back to just after the offending
+// instruction, and commit retires records so the window can slide.
+//
+// The window must cover everything between the oldest in-flight instruction
+// and the fetch frontier (reorder-buffer size plus fetch lookahead). At
+// asks the generator for records on demand; it panics if the pipeline
+// overruns the window or rewinds behind a retired record, since both are
+// simulator bugs, not recoverable conditions.
+type Stream struct {
+	gen  Generator
+	buf  []Record // ring buffer, capacity == window
+	base int64    // sequence number of the oldest buffered record
+	n    int      // buffered records
+	done bool     // generator exhausted
+	next int64    // sequence number the generator will produce next
+}
+
+// NewStream wraps gen with a sliding window of the given capacity.
+func NewStream(gen Generator, window int) *Stream {
+	if window <= 0 {
+		panic("trace: window must be positive")
+	}
+	return &Stream{gen: gen, buf: make([]Record, window)}
+}
+
+// At returns the record with the given sequence number, generating forward
+// as necessary. ok=false means the trace ended before seq.
+func (s *Stream) At(seq int64) (Record, bool) {
+	if seq < s.base {
+		panic(fmt.Sprintf("trace: seq %d already retired (base %d)", seq, s.base))
+	}
+	for seq >= s.base+int64(s.n) {
+		if s.done {
+			return Record{}, false
+		}
+		r, ok := s.gen.Next()
+		if !ok {
+			s.done = true
+			return Record{}, false
+		}
+		r.Seq = s.next
+		s.next++
+		if s.n == len(s.buf) {
+			panic(fmt.Sprintf("trace: window of %d overrun (base %d, want %d); retire first", len(s.buf), s.base, seq))
+		}
+		s.buf[(s.base+int64(s.n))%int64(len(s.buf))] = r
+		s.n++
+	}
+	return s.buf[seq%int64(len(s.buf))], true
+}
+
+// Retire discards all records with sequence numbers < seq, allowing the
+// window to slide. Retiring is monotone; retiring an already-retired point
+// is a no-op.
+func (s *Stream) Retire(seq int64) {
+	if seq <= s.base {
+		return
+	}
+	drop := seq - s.base
+	if drop > int64(s.n) {
+		drop = int64(s.n)
+	}
+	s.base += drop
+	s.n -= int(drop)
+}
+
+// Mix summarises a trace's instruction composition; used by tests and the
+// vptrace tool to check that workloads have the intended character.
+type Mix struct {
+	Total    int64
+	IntALU   int64
+	IntMul   int64
+	IntDiv   int64
+	Loads    int64
+	Stores   int64
+	FPALU    int64
+	FPMul    int64
+	FPDiv    int64
+	Branches int64
+	Taken    int64
+	IntDst   int64 // instructions writing an integer register
+	FPDst    int64 // instructions writing an FP register
+}
+
+// MeasureMix drains up to max records and tallies the composition.
+func MeasureMix(gen Generator, max int64) Mix {
+	var m Mix
+	for m.Total < max {
+		r, ok := gen.Next()
+		if !ok {
+			break
+		}
+		m.Total++
+		info := r.Inst.Op.Info()
+		switch {
+		case info.IsLoad:
+			m.Loads++
+		case info.IsStore:
+			m.Stores++
+		case info.IsBranch:
+			m.Branches++
+			if r.Taken {
+				m.Taken++
+			}
+		default:
+			switch info.Kind {
+			case isa.FUIntALU:
+				m.IntALU++
+			case isa.FUIntMul:
+				m.IntMul++
+			case isa.FUIntDiv:
+				m.IntDiv++
+			case isa.FUFPALU:
+				m.FPALU++
+			case isa.FUFPMul:
+				m.FPMul++
+			case isa.FUFPDiv:
+				m.FPDiv++
+			}
+		}
+		if r.Inst.HasDst() {
+			switch r.Inst.Dst.Class {
+			case isa.RegInt:
+				m.IntDst++
+			case isa.RegFP:
+				m.FPDst++
+			}
+		}
+	}
+	return m
+}
+
+// Frac returns part/total as a float, 0 when the trace is empty.
+func (m Mix) Frac(part int64) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(part) / float64(m.Total)
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/trace"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// Every kernel must assemble, run on the emulator without faults for a
+// healthy number of instructions, and keep running (the outer loops are
+// effectively infinite so experiments can cut traces at any length).
+func TestKernelsExecute(t *testing.T) {
+	for _, s := range Catalog() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			m, err := emu.New(s.Program())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const steps = 50000
+			n, err := m.Run(steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != steps || m.Halted() {
+				t.Fatalf("kernel stopped after %d steps (halted=%v)", n, m.Halted())
+			}
+		})
+	}
+}
+
+func TestCatalogIntegrity(t *testing.T) {
+	if len(Catalog()) != 9 {
+		t.Fatalf("catalog has %d entries, want 9", len(Catalog()))
+	}
+	seen := map[string]bool{}
+	nInt, nFP := 0, 0
+	for _, s := range Catalog() {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %q", s.Name)
+		}
+		seen[s.Name] = true
+		switch s.Class {
+		case "int":
+			nInt++
+		case "fp":
+			nFP++
+		default:
+			t.Errorf("%s: bad class %q", s.Name, s.Class)
+		}
+		if s.Description == "" {
+			t.Errorf("%s: missing description", s.Name)
+		}
+	}
+	// The paper studies four integer and five FP benchmarks.
+	if nInt != 4 || nFP != 5 {
+		t.Errorf("class split = %d int / %d fp, want 4/5", nInt, nFP)
+	}
+	for _, name := range []string{"go", "li", "compress", "vortex", "apsi", "swim", "mgrid", "hydro2d", "wave5"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("missing paper benchmark %q", name)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName should reject unknown names")
+	}
+}
+
+// Character checks: each kernel's instruction mix must match its intended
+// role (DESIGN.md §5). These bounds are deliberately loose; they protect the
+// experiments from a kernel silently degenerating (e.g. a mis-assembled
+// branch turning a loop into straight-line code).
+func TestKernelCharacter(t *testing.T) {
+	const n = 30000
+	mixOf := func(name string) trace.Mix {
+		t.Helper()
+		gen, err := MustByName(name).NewGen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := trace.MeasureMix(gen, n)
+		if m.Total != n {
+			t.Fatalf("%s: trace ended early at %d", name, m.Total)
+		}
+		return m
+	}
+
+	for _, name := range []string{"swim", "mgrid", "hydro2d", "wave5", "apsi"} {
+		m := mixOf(name)
+		fpWork := m.FPALU + m.FPMul + m.FPDiv
+		if frac := m.Frac(fpWork); frac < 0.20 {
+			t.Errorf("%s: FP fraction %.2f too low for an FP benchmark", name, frac)
+		}
+		if m.FPDst <= m.IntDst/2 {
+			t.Errorf("%s: FP dests (%d) should dominate int dests (%d)", name, m.FPDst, m.IntDst)
+		}
+	}
+	for _, name := range []string{"go", "li", "compress", "vortex"} {
+		m := mixOf(name)
+		if m.FPALU+m.FPMul+m.FPDiv+m.FPDst != 0 {
+			t.Errorf("%s: integer benchmark must not execute FP work", name)
+		}
+	}
+
+	// apsi is the only FP kernel with divides in its steady state.
+	if m := mixOf("apsi"); m.FPDiv == 0 {
+		t.Error("apsi must contain FP divides")
+	}
+	if m := mixOf("swim"); m.FPDiv != 0 {
+		t.Error("swim should not contain FP divides")
+	}
+
+	// go is the branchiest kernel and its branches are data-dependent.
+	goMix := mixOf("go")
+	if frac := goMix.Frac(goMix.Branches); frac < 0.15 {
+		t.Errorf("go: branch fraction %.2f too low", frac)
+	}
+	// compress multiplies in its hash.
+	if m := mixOf("compress"); m.IntMul == 0 {
+		t.Error("compress must contain integer multiplies")
+	}
+	// li chases pointers: loads are a substantial fraction.
+	liMix := mixOf("li")
+	if frac := liMix.Frac(liMix.Loads); frac < 0.15 {
+		t.Errorf("li: load fraction %.2f too low", frac)
+	}
+}
+
+// The li and vortex pointer rings must be complete cycles: the chase must
+// never fall into a short loop, which would shrink the working set and
+// change the cache behaviour.
+func TestShuffledRingIsSingleCycle(t *testing.T) {
+	for _, n := range []int{2, 3, 64, 1024} {
+		rng := newTestRand()
+		next := shuffledRing(n, rng)
+		seen := make([]bool, n)
+		at := 0
+		for i := 0; i < n; i++ {
+			if seen[at] {
+				t.Fatalf("n=%d: revisited node %d after %d steps", n, at, i)
+			}
+			seen[at] = true
+			at = next[at]
+		}
+		if at != 0 {
+			t.Fatalf("n=%d: cycle did not close (ended at %d)", n, at)
+		}
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName should panic for unknown workloads")
+		}
+	}()
+	MustByName("nonesuch")
+}
+
+// Builds must be deterministic: two builds of the same kernel produce
+// identical programs (experiments depend on run-to-run reproducibility).
+func TestBuildDeterministic(t *testing.T) {
+	for _, s := range Catalog() {
+		p1, p2 := s.Program(), s.Program()
+		if len(p1.Insts) != len(p2.Insts) || len(p1.Data) != len(p2.Data) {
+			t.Fatalf("%s: nondeterministic build", s.Name)
+		}
+		for i := range p1.Insts {
+			if p1.Insts[i] != p2.Insts[i] {
+				t.Fatalf("%s: instruction %d differs between builds", s.Name, i)
+			}
+		}
+		for i := range p1.Data {
+			if p1.Data[i] != p2.Data[i] {
+				t.Fatalf("%s: data byte %d differs between builds", s.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package vpr is the public face of this repository: a from-scratch,
+// cycle-accurate reproduction of "Virtual-Physical Registers" (A. González,
+// J. González, M. Valero; HPCA 1998) as a Go library.
+//
+// The paper proposes delaying the allocation of physical registers from the
+// decode stage (conventional renaming) to the issue or write-back stage,
+// tracking dependences meanwhile through storage-less virtual-physical
+// register tags. This package exposes:
+//
+//   - simulation of single workload × machine configuration points (Run),
+//   - the workload catalog named after the paper's SPEC95 benchmarks,
+//   - experiment runners that regenerate every table and figure of the
+//     paper's evaluation (Table2, Figure4..Figure7) plus ablations,
+//   - the §3.1 analytic register-pressure model (ChainPressure),
+//   - an assembler for the mini-ISA, so custom workloads can be written
+//     as assembly text and simulated like the built-in kernels.
+//
+// Everything underneath — ISA, assembler, functional emulator, trace
+// layer, branch predictor, lockup-free cache, renaming schemes and the
+// out-of-order pipeline — lives in internal packages; this package is the
+// supported API surface. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package vpr
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Scheme selects a register renaming scheme.
+type Scheme = core.Scheme
+
+// The three schemes the paper compares.
+const (
+	SchemeConventional = core.SchemeConventional // R10000-style, allocate at decode
+	SchemeVPWriteback  = core.SchemeVPWriteback  // virtual-physical, allocate at write-back
+	SchemeVPIssue      = core.SchemeVPIssue      // virtual-physical, allocate at issue
+)
+
+// Config is the full machine description (§4.1 of the paper by default).
+type Config = pipeline.Config
+
+// RenameParams sizes the renamer (physical registers, NRR, ...).
+type RenameParams = core.Params
+
+// Stats is the statistics block a run produces.
+type Stats = pipeline.Stats
+
+// RunSpec describes one simulation (workload or custom generator, machine
+// configuration, instruction budget).
+type RunSpec = sim.Spec
+
+// Result is a completed run.
+type Result = sim.Result
+
+// DefaultConfig returns the paper's machine: 8-way out-of-order, 128-entry
+// ROB, Table 1 functional units, 64 physical registers per file, 16 KB
+// lockup-free L1 with 8 MSHRs, 2048-entry BHT, PA-8000-style speculative
+// memory disambiguation.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// Run simulates one point.
+func Run(spec RunSpec) (Result, error) { return sim.Run(spec) }
+
+// Workload describes one catalog entry.
+type Workload struct {
+	Name        string
+	Class       string // "int" or "fp"
+	Description string
+}
+
+// Workloads lists the nine kernels in the paper's reporting order.
+func Workloads() []Workload {
+	var out []Workload
+	for _, s := range workloads.Catalog() {
+		out = append(out, Workload{Name: s.Name, Class: s.Class, Description: s.Description})
+	}
+	return out
+}
+
+// WorkloadGenerator returns a fresh emulator-backed trace generator for a
+// catalog workload. Wrap it with TakeTrace to bound its length.
+func WorkloadGenerator(name string) (trace.Generator, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, &UnknownWorkloadError{Name: name}
+	}
+	return w.NewGen()
+}
+
+// UnknownWorkloadError reports a workload name not in the catalog.
+type UnknownWorkloadError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownWorkloadError) Error() string {
+	return "vpr: unknown workload " + e.Name
+}
+
+// Program is an assembled program for the mini-ISA.
+type Program = isa.Program
+
+// Assemble translates mini-ISA assembly text (see internal/asm for the
+// syntax) into a Program that can drive the simulator via NewTrace.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// NewTrace functionally executes a program and returns the committed-path
+// trace generator (with golden values) that drives the timing simulator.
+func NewTrace(p *Program) (trace.Generator, error) {
+	gen, err := emu.NewTraceGen(p)
+	if err != nil {
+		return nil, err
+	}
+	return gen, nil
+}
+
+// TakeTrace bounds a generator to n instructions.
+func TakeTrace(gen trace.Generator, n int64) trace.Generator { return trace.Take(gen, n) }
+
+// --- Experiments ------------------------------------------------------------
+
+// ExperimentOptions tune the experiment runners (instruction budget per
+// run, workload subset, progress callback).
+type ExperimentOptions = experiments.Options
+
+// Experiment result types, re-exported for consumers of the runners.
+type (
+	Table2      = experiments.Table2
+	NRRSweep    = experiments.NRRSweep
+	Fig6Row     = experiments.Fig6Row
+	Fig7        = experiments.Fig7
+	AblationRow = experiments.AblationRow
+)
+
+// RunTable2 reproduces Table 2 (conventional vs VP write-back at 64
+// registers, max NRR), optionally with the 20-cycle miss-penalty footnote.
+func RunTable2(opts ExperimentOptions, withPenalty20 bool) (Table2, error) {
+	return experiments.RunTable2(opts, withPenalty20)
+}
+
+// RunFigure4 reproduces figure 4 (VP write-back speedup across NRR).
+func RunFigure4(opts ExperimentOptions) (NRRSweep, error) {
+	return experiments.RunNRRSweep(core.SchemeVPWriteback, nil, opts)
+}
+
+// RunFigure5 reproduces figure 5 (VP issue-allocation speedup across NRR).
+func RunFigure5(opts ExperimentOptions) (NRRSweep, error) {
+	return experiments.RunNRRSweep(core.SchemeVPIssue, nil, opts)
+}
+
+// RunFigure6 reproduces figure 6 (write-back vs issue at NRR=32).
+func RunFigure6(opts ExperimentOptions) ([]Fig6Row, error) {
+	return experiments.RunFigure6(opts)
+}
+
+// RunFigure7 reproduces figure 7 (register-count sweep 48/64/96).
+func RunFigure7(opts ExperimentOptions) (Fig7, error) {
+	return experiments.RunFigure7(opts)
+}
+
+// Ablation runners (see DESIGN.md §6).
+var (
+	RunEarlyReleaseAblation   = experiments.RunEarlyReleaseAblation
+	RunDisambiguationAblation = experiments.RunDisambiguationAblation
+	RunRecoveryAblation       = experiments.RunRecoveryAblation
+	RunSplitNRRAblation       = experiments.RunSplitNRRAblation
+)
+
+// SMTRow is one point of the simultaneous-multithreading scaling study.
+type SMTRow = experiments.SMTRow
+
+// LifetimeRow is one point of the register-holding-time study (§3.1 in
+// vivo).
+type LifetimeRow = experiments.LifetimeRow
+
+// RunLifetime measures how long each scheme holds physical registers —
+// the experimental counterpart of the §3.1 analytic example.
+func RunLifetime(opts ExperimentOptions) ([]LifetimeRow, error) {
+	return experiments.RunLifetime(opts)
+}
+
+// SMTSpec and SMTResult describe direct multithreaded runs.
+type (
+	SMTSpec   = sim.SMTSpec
+	SMTResult = sim.SMTResult
+)
+
+// RunSMT simulates one multithreaded machine: one workload per hardware
+// thread sharing the pipeline, cache and physical register files.
+func RunSMT(spec SMTSpec) (SMTResult, error) { return sim.RunSMT(spec) }
+
+// RunSMTScaling realizes the paper's §5 future-work prediction across
+// thread counts (default 1, 2, 4): the virtual-physical advantage under a
+// shared register file.
+func RunSMTScaling(threadCounts []int, opts ExperimentOptions) ([]SMTRow, error) {
+	return experiments.RunSMTScaling(threadCounts, opts)
+}
+
+// Renderers that format experiment results in the paper's row/series shape.
+var (
+	RenderTable2   = experiments.RenderTable2
+	RenderNRRSweep = experiments.RenderNRRSweep
+	RenderFigure6  = experiments.RenderFigure6
+	RenderFigure7  = experiments.RenderFigure7
+	RenderAblation = experiments.RenderAblation
+	RenderSMT      = experiments.RenderSMT
+	RenderLifetime = experiments.RenderLifetime
+)
+
+// --- §3.1 analytic pressure model ---------------------------------------------
+
+// AllocPoint is where a destination register is allocated (decode, issue,
+// write-back).
+type AllocPoint = sim.AllocPoint
+
+// The three allocation points of the paper's §3.1 example.
+const (
+	AllocDecode    = sim.AllocDecode
+	AllocIssue     = sim.AllocIssue
+	AllocWriteback = sim.AllocWriteback
+)
+
+// ChainInterval is one instruction's register-holding interval.
+type ChainInterval = sim.ChainInterval
+
+// ChainPressure reproduces the paper's §3.1 register-pressure arithmetic
+// for a serial dependence chain.
+func ChainPressure(latencies []int, point AllocPoint) []ChainInterval {
+	return sim.ChainPressure(latencies, point)
+}
+
+// TotalPressure sums register·cycles over the intervals.
+func TotalPressure(ivs []ChainInterval) int { return sim.TotalPressure(ivs) }
+
+// PaperExampleLatencies is the §3.1 chain (20-cycle load miss, fdiv 20,
+// fmul 10, fadd 5).
+func PaperExampleLatencies() []int { return sim.PaperExampleLatencies() }
+
+// HarmonicMean is the paper's summary statistic for IPC.
+func HarmonicMean(xs []float64) float64 { return metrics.HarmonicMean(xs) }
+
+// ImprovementPct matches the paper's "imp (%)" columns.
+func ImprovementPct(old, new float64) float64 { return metrics.ImprovementPct(old, new) }
