@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test bench tables clean
+
+# Tier-1 gate: everything must vet, build and pass.
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Benchmarks; BenchmarkRunBatch compares the serial and parallel engine.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Regenerate every paper table/figure through the registry + engine path.
+tables:
+	$(GO) run ./cmd/vptables -exp all
+
+clean:
+	$(GO) clean ./...

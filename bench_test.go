@@ -7,6 +7,9 @@ package vpr_test
 // and republishes the paper-shaped results.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	vpr "repro"
@@ -119,6 +122,57 @@ func BenchmarkAblationDisambiguation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRunBatch compares a serial batch against the engine's worker
+// pool on the same spec grid (all nine workloads × the three schemes).
+// Caching is disabled so every iteration simulates every point; the
+// parallel/serial ratio is the wall-clock win `vptables -exp all` sees on
+// a multicore machine.
+func BenchmarkRunBatch(b *testing.B) {
+	var specs []vpr.RunSpec
+	for _, w := range vpr.Workloads() {
+		for _, scheme := range []vpr.Scheme{vpr.SchemeConventional, vpr.SchemeVPWriteback, vpr.SchemeVPIssue} {
+			cfg := vpr.DefaultConfig()
+			cfg.Scheme = scheme
+			specs = append(specs, vpr.RunSpec{Workload: w.Name, Config: cfg, MaxInstr: benchInstr})
+		}
+	}
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			eng := vpr.New(vpr.WithParallelism(par), vpr.WithCache(0))
+			var committed int64
+			for i := 0; i < b.N; i++ {
+				results, err := eng.RunBatch(context.Background(), specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					committed += r.Stats.Committed
+				}
+			}
+			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instr/s")
+		})
+	}
+}
+
+// BenchmarkRunBatchCached measures the same grid with the result cache on:
+// after the first iteration every point is a cache hit, so this is the
+// overlapping-sweep fast path (figures 4/5/7 share baselines).
+func BenchmarkRunBatchCached(b *testing.B) {
+	var specs []vpr.RunSpec
+	for _, w := range vpr.Workloads() {
+		cfg := vpr.DefaultConfig()
+		specs = append(specs, vpr.RunSpec{Workload: w.Name, Config: cfg, MaxInstr: benchInstr})
+	}
+	eng := vpr.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunBatch(context.Background(), specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hits, misses := eng.CacheStats()
+	b.ReportMetric(float64(hits)/float64(max(hits+misses, 1)), "hit-ratio")
 }
 
 // Simulator throughput: simulated instructions per second per scheme, the

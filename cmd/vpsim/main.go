@@ -8,21 +8,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/pipeline"
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	vpr "repro"
 )
+
+func workloadNames() []string {
+	var names []string
+	for _, w := range vpr.Workloads() {
+		names = append(names, w.Name)
+	}
+	return names
+}
 
 func main() {
 	var (
-		workload = flag.String("workload", "swim", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+		workload = flag.String("workload", "swim", "workload name ("+strings.Join(workloadNames(), ", ")+")")
 		scheme   = flag.String("scheme", "conv", "renaming scheme: conv, vp-wb, vp-issue")
 		regs     = flag.Int("regs", 64, "physical registers per file")
 		nrr      = flag.Int("nrr", -1, "reserved registers (NRR); -1 means maximum (regs-32)")
@@ -38,14 +45,14 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := pipeline.DefaultConfig()
+	cfg := vpr.DefaultConfig()
 	switch *scheme {
 	case "conv":
-		cfg.Scheme = core.SchemeConventional
+		cfg.Scheme = vpr.SchemeConventional
 	case "vp-wb":
-		cfg.Scheme = core.SchemeVPWriteback
+		cfg.Scheme = vpr.SchemeVPWriteback
 	case "vp-issue":
-		cfg.Scheme = core.SchemeVPIssue
+		cfg.Scheme = vpr.SchemeVPIssue
 	default:
 		fatalf("unknown scheme %q (want conv, vp-wb or vp-issue)", *scheme)
 	}
@@ -66,14 +73,19 @@ func main() {
 	cfg.Debug = *debug
 	switch *disamb {
 	case "speculative":
-		cfg.Disambiguation = pipeline.DisambSpeculative
+		cfg.Disambiguation = vpr.DisambSpeculative
 	case "conservative":
-		cfg.Disambiguation = pipeline.DisambConservative
+		cfg.Disambiguation = vpr.DisambConservative
 	default:
 		fatalf("unknown disambiguation %q", *disamb)
 	}
 
-	res, err := sim.Run(sim.Spec{Workload: *workload, Config: cfg, MaxInstr: *instr})
+	// Ctrl-C cancels the run mid-simulation instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := vpr.New(vpr.WithParallelism(1))
+	res, err := eng.Run(ctx, vpr.RunSpec{Workload: *workload, Config: cfg, MaxInstr: *instr})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -87,7 +99,7 @@ func main() {
 			Regs, NRR   int
 			IPC         float64
 			BHTAccuracy float64
-			Stats       pipeline.Stats
+			Stats       vpr.Stats
 		}{*workload, *scheme, *regs, *nrr, st.IPC(), res.BHTAccuracy, st}); err != nil {
 			fatalf("%v", err)
 		}

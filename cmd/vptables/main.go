@@ -1,44 +1,52 @@
 // Command vptables regenerates the paper's tables and figures (and this
 // repository's ablations) from scratch, printing the same rows and series
-// the paper reports.
+// the paper reports. The experiment list is generated from the library's
+// experiment registry (vpr.Experiments()); runs are issued through
+// vpr.Engine.RunBatch, so independent simulation points execute in
+// parallel and points shared between experiments (e.g. the conventional
+// baselines of figures 4, 5 and 7) are simulated once and cached.
 //
 //	vptables                  # everything, 200k instructions per run
 //	vptables -exp table2      # just Table 2 (with the 20-cycle footnote)
 //	vptables -exp fig4 -instr 500000
 //	vptables -exp ablation-release
+//	vptables -par 1           # serial (identical output, slower)
 //
 // Writing EXPERIMENTS.md: vptables -exp all -md > EXPERIMENTS.md
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	vpr "repro"
 )
 
-type experiment struct {
-	name string
-	desc string
-	run  func(opts vpr.ExperimentOptions, md bool) error
+// entry is one runnable unit of the CLI: either a registry experiment
+// (run via the engine) or one of the two local, simulation-free printouts
+// (the §4.1 configuration listing and the §3.1 analytic pressure model).
+type entry struct {
+	name  string
+	desc  string
+	local func(md bool) error // nil for registry experiments
 }
 
-var table = []experiment{
-	{"config", "paper Table 1 / §4.1 machine configuration", runConfig},
-	{"table2", "Table 2: conventional vs VP write-back, 64 regs, max NRR", runTable2},
-	{"fig4", "Figure 4: VP write-back speedup across NRR", runFig4},
-	{"fig5", "Figure 5: VP issue-allocation speedup across NRR", runFig5},
-	{"fig6", "Figure 6: write-back vs issue allocation", runFig6},
-	{"fig7", "Figure 7: IPC across 48/64/96 physical registers", runFig7},
-	{"pressure", "§3.1 worked example (analytic register pressure)", runPressure},
-	{"ablation-release", "ablation: conventional early register release", runAblRelease},
-	{"ablation-disamb", "ablation: speculative vs conservative disambiguation", runAblDisamb},
-	{"ablation-recovery", "ablation: recovery penalty sweep", runAblRecovery},
-	{"ablation-nrr-split", "ablation: NRRint != NRRfp", runAblSplit},
-	{"smt", "future work (§5): SMT scaling of the VP advantage", runSMT},
-	{"lifetime", "supplementary: §3.1 register-holding time, measured in vivo", runLifetime},
+// entries returns the CLI's table in the paper's reporting order: the
+// machine configuration first, then the registry experiments with the
+// analytic pressure model printed after the figures it motivates.
+func entries() []entry {
+	out := []entry{{"config", "paper Table 1 / §4.1 machine configuration", runConfig}}
+	for _, e := range vpr.Experiments() {
+		out = append(out, entry{name: e.Name, desc: e.Title})
+		if e.Name == "fig7" {
+			out = append(out, entry{"pressure", "§3.1 worked example (analytic register pressure)", runPressure})
+		}
+	}
+	return out
 }
 
 func main() {
@@ -48,21 +56,30 @@ func main() {
 		bench    = flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
 		md       = flag.Bool("md", false, "emit Markdown (for EXPERIMENTS.md)")
 		progress = flag.Bool("progress", false, "print per-run progress to stderr")
+		par      = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS); results are identical at any level")
 	)
+	flag.Usage = usage
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := vpr.ExperimentOptions{Instr: *instr}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
 	}
+	engineOpts := []vpr.EngineOption{vpr.WithParallelism(*par)}
 	if *progress {
-		opts.Progress = func(format string, args ...any) {
+		toStderr := func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+		opts.Progress = toStderr
+		engineOpts = append(engineOpts, vpr.WithProgress(toStderr))
 	}
+	eng := vpr.New(engineOpts...)
 
 	ran := 0
-	for _, e := range table {
+	for _, e := range entries() {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}
@@ -72,7 +89,7 @@ func main() {
 		} else {
 			fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
 		}
-		if err := e.run(opts, *md); err != nil {
+		if err := runEntry(ctx, eng, e, opts, *md); err != nil {
 			fmt.Fprintf(os.Stderr, "vptables: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
@@ -84,12 +101,39 @@ func main() {
 	}
 }
 
+func runEntry(ctx context.Context, eng *vpr.Engine, e entry, opts vpr.ExperimentOptions, md bool) error {
+	if e.local != nil {
+		return e.local(md)
+	}
+	res, err := eng.RunExperiment(ctx, e.name, opts)
+	if err != nil {
+		return err
+	}
+	codeBlock(md, res.Text)
+	return nil
+}
+
 func names() string {
 	var ns []string
-	for _, e := range table {
+	for _, e := range entries() {
 		ns = append(ns, e.name)
 	}
 	return strings.Join(ns, ", ")
+}
+
+// usage augments the flag listing with the registry-generated experiment
+// reference so `vptables -h` documents what each name reproduces.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: vptables [flags]\n\nflags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), "\nexperiments (from the registry):\n")
+	fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", "config", "paper Table 1 / §4.1 machine configuration (local printout)")
+	for _, e := range vpr.Experiments() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n      %s\n", e.Name, e.Title, e.Reproduces)
+		if e.Name == "fig7" {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", "pressure", "§3.1 worked example, analytic (local printout)")
+		}
+	}
 }
 
 func codeBlock(md bool, body string) {
@@ -100,7 +144,7 @@ func codeBlock(md bool, body string) {
 	}
 }
 
-func runConfig(vpr.ExperimentOptions, bool) error {
+func runConfig(bool) error {
 	cfg := vpr.DefaultConfig()
 	fmt.Printf("fetch/decode/issue/commit width: %d/%d/%d/%d\n",
 		cfg.FetchWidth, cfg.DecodeWidth, cfg.IssueWidth, cfg.CommitWidth)
@@ -116,52 +160,7 @@ func runConfig(vpr.ExperimentOptions, bool) error {
 	return nil
 }
 
-func runTable2(opts vpr.ExperimentOptions, md bool) error {
-	res, err := vpr.RunTable2(opts, true)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderTable2(res))
-	return nil
-}
-
-func runFig4(opts vpr.ExperimentOptions, md bool) error {
-	sweep, err := vpr.RunFigure4(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderNRRSweep(sweep))
-	return nil
-}
-
-func runFig5(opts vpr.ExperimentOptions, md bool) error {
-	sweep, err := vpr.RunFigure5(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderNRRSweep(sweep))
-	return nil
-}
-
-func runFig6(opts vpr.ExperimentOptions, md bool) error {
-	rows, err := vpr.RunFigure6(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderFigure6(rows))
-	return nil
-}
-
-func runFig7(opts vpr.ExperimentOptions, md bool) error {
-	fig, err := vpr.RunFigure7(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderFigure7(fig))
-	return nil
-}
-
-func runPressure(_ vpr.ExperimentOptions, md bool) error {
+func runPressure(md bool) error {
 	var b strings.Builder
 	lat := vpr.PaperExampleLatencies()
 	for _, pt := range []vpr.AllocPoint{vpr.AllocDecode, vpr.AllocIssue, vpr.AllocWriteback} {
@@ -177,64 +176,5 @@ func runPressure(_ vpr.ExperimentOptions, md bool) error {
 	}
 	fmt.Fprintln(&b, "paper: decode 151 (42/52/57), issue 88 (41/31/16), write-back 38 (21/11/6)")
 	codeBlock(md, b.String())
-	return nil
-}
-
-func runAblRelease(opts vpr.ExperimentOptions, md bool) error {
-	rows, err := vpr.RunEarlyReleaseAblation(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderAblation(rows, "releases/1k or exec/commit"))
-	return nil
-}
-
-func runAblDisamb(opts vpr.ExperimentOptions, md bool) error {
-	rows, err := vpr.RunDisambiguationAblation(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderAblation(rows, "violations/1k"))
-	return nil
-}
-
-func runAblRecovery(opts vpr.ExperimentOptions, md bool) error {
-	rows, err := vpr.RunRecoveryAblation(opts, nil)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderAblation(rows, "-"))
-	return nil
-}
-
-func runAblSplit(opts vpr.ExperimentOptions, md bool) error {
-	rows, err := vpr.RunSplitNRRAblation(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderAblation(rows, "-"))
-	return nil
-}
-
-func runLifetime(opts vpr.ExperimentOptions, md bool) error {
-	rows, err := vpr.RunLifetime(opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderLifetime(rows))
-	return nil
-}
-
-func runSMT(opts vpr.ExperimentOptions, md bool) error {
-	if len(opts.Workloads) == 0 {
-		// The full catalog × three thread counts is slow; the sharing
-		// story is told by a representative subset.
-		opts.Workloads = []string{"hydro2d", "mgrid", "swim", "compress", "go"}
-	}
-	rows, err := vpr.RunSMTScaling(nil, opts)
-	if err != nil {
-		return err
-	}
-	codeBlock(md, vpr.RenderSMT(rows))
 	return nil
 }

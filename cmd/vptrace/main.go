@@ -16,13 +16,17 @@ import (
 	"strings"
 
 	vpr "repro"
-	"repro/internal/trace"
-	"repro/internal/workloads"
 )
 
 func main() {
+	catalog := vpr.Workloads()
+	var names []string
+	for _, w := range catalog {
+		names = append(names, w.Name)
+	}
+
 	var (
-		workload = flag.String("workload", "swim", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+		workload = flag.String("workload", "swim", "workload name ("+strings.Join(names, ", ")+")")
 		instr    = flag.Int64("instr", 50_000, "instructions to analyse")
 		dump     = flag.Int("dump", 0, "disassemble the first N trace records")
 		save     = flag.String("save", "", "capture the trace to a binary file and exit")
@@ -39,7 +43,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		n, err := trace.Dump(f, gen, *instr)
+		n, err := vpr.DumpTrace(f, gen, *instr)
 		if err != nil {
 			fatal(err)
 		}
@@ -50,13 +54,13 @@ func main() {
 		return
 	}
 
-	newGen := func() trace.Generator {
+	newGen := func() vpr.TraceGenerator {
 		if *load != "" {
 			f, err := os.Open(*load)
 			if err != nil {
 				fatal(err)
 			}
-			r, err := trace.NewReader(f)
+			r, err := vpr.OpenTrace(f)
 			if err != nil {
 				fatal(err)
 			}
@@ -71,7 +75,7 @@ func main() {
 
 	if *dump > 0 {
 		gen := newGen()
-		for _, r := range trace.Collect(gen, int64(*dump)) {
+		for _, r := range vpr.CollectTrace(gen, int64(*dump)) {
 			line := fmt.Sprintf("%6d  pc=%-5d %-24s", r.Seq, r.PC, r.Inst.String())
 			info := r.Inst.Op.Info()
 			switch {
@@ -88,7 +92,7 @@ func main() {
 	gen := newGen()
 	// Count distinct cache lines alongside the mix.
 	lines := map[uint64]bool{}
-	counting := trace.GenFunc(func() (trace.Record, bool) {
+	counting := vpr.TraceFunc(func() (vpr.TraceRecord, bool) {
 		r, ok := gen.Next()
 		if ok {
 			info := r.Inst.Op.Info()
@@ -98,32 +102,28 @@ func main() {
 		}
 		return r, ok
 	})
-	m := trace.MeasureMix(counting, *instr)
+	m := vpr.MeasureTraceMix(counting, *instr)
 
 	if *load != "" {
 		fmt.Printf("trace     %s\n", *load)
 	} else {
-		w, _ := workloads.ByName(*workload)
-		fmt.Printf("workload  %s (%s): %s\n", w.Name, w.Class, w.Description)
+		for _, w := range catalog {
+			if w.Name == *workload {
+				fmt.Printf("workload  %s (%s): %s\n", w.Name, w.Class, w.Description)
+			}
+		}
 	}
 	fmt.Printf("analysed  %d dynamic instructions\n", m.Total)
 	fmt.Printf("mix       int-alu %.1f%%  int-mul/div %.1f%%  loads %.1f%%  stores %.1f%%\n",
 		pct(m, m.IntALU), pct(m, m.IntMul+m.IntDiv), pct(m, m.Loads), pct(m, m.Stores))
 	fmt.Printf("          fp-alu %.1f%%  fp-mul %.1f%%  fp-div %.1f%%  branches %.1f%% (%.1f%% taken)\n",
 		pct(m, m.FPALU), pct(m, m.FPMul), pct(m, m.FPDiv), pct(m, m.Branches),
-		100*float64(m.Taken)/float64(max64(m.Branches, 1)))
+		100*float64(m.Taken)/float64(max(m.Branches, 1)))
 	fmt.Printf("dests     %.1f%% int, %.1f%% fp\n", pct(m, m.IntDst), pct(m, m.FPDst))
 	fmt.Printf("footprint %d distinct cache lines (%.1f KB touched)\n", len(lines), float64(len(lines))*32/1024)
 }
 
-func pct(m trace.Mix, part int64) float64 { return 100 * m.Frac(part) }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
+func pct(m vpr.TraceMix, part int64) float64 { return 100 * m.Frac(part) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vptrace:", err)

@@ -2,9 +2,14 @@
 // the functional emulator to get a golden trace, and compare all three
 // renaming schemes on it. The kernel here is SAXPY over arrays that miss in
 // the 16 KB L1 — a classic candidate for late register allocation.
+//
+// Custom-generator runs carry a GenID so the engine's result cache can
+// identify them: re-running the same scheme costs nothing (the second loop
+// below hits the cache instead of re-simulating).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,26 +47,44 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("saxpy on the paper's machine, 80k instructions, 64 regs/file:")
-	for _, scheme := range []vpr.Scheme{vpr.SchemeConventional, vpr.SchemeVPIssue, vpr.SchemeVPWriteback} {
+	ctx := context.Background()
+	eng := vpr.New()
+	schemes := []vpr.Scheme{vpr.SchemeConventional, vpr.SchemeVPIssue, vpr.SchemeVPWriteback}
+
+	run := func(scheme vpr.Scheme) vpr.Stats {
 		gen, err := vpr.NewTrace(prog)
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg := vpr.DefaultConfig()
 		cfg.Scheme = scheme
-		res, err := vpr.Run(vpr.RunSpec{
+		res, err := eng.Run(ctx, vpr.RunSpec{
 			Gen:      vpr.TakeTrace(gen, 80_000),
+			GenID:    "saxpy/80k", // lets the result cache identify this trace
 			Config:   cfg,
 			MaxInstr: 0, // the generator is already bounded
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := res.Stats
+		return res.Stats
+	}
+
+	fmt.Println("saxpy on the paper's machine, 80k instructions, 64 regs/file:")
+	for _, scheme := range schemes {
+		st := run(scheme)
 		fmt.Printf("  %-9s IPC %.3f  miss ratio %4.1f%%  avg FP regs %4.1f  exec/commit %.2f\n",
 			scheme.String()+":", st.IPC(), st.MissRatio()*100, st.AvgFPRegs(), st.ExecPerCommit())
 	}
+
+	// The second pass is free: every (GenID, config, budget) point is
+	// already in the engine's result cache.
+	for _, scheme := range schemes {
+		run(scheme)
+	}
+	hits, misses := eng.CacheStats()
+	fmt.Printf("\nresult cache: %d hits, %d misses (the re-run never touched the simulator)\n", hits, misses)
+
 	fmt.Println("\nboth virtual-physical variants hold far fewer FP registers than the baseline;")
 	fmt.Println("on this kernel issue allocation's freedom from re-execution makes it competitive")
 	fmt.Println("with write-back allocation, while across the nine paper workloads write-back")

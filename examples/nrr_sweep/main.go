@@ -1,10 +1,13 @@
 // NRR sweep: reproduce one workload's slice of the paper's figure 4 — the
 // speedup of virtual-physical renaming over the conventional scheme as the
 // number of reserved registers (NRR, the deadlock-avoidance parameter)
-// varies from 1 to its maximum.
+// varies from 1 to its maximum. The seven points (one conventional
+// baseline + six NRR values) are built as one spec list and fanned out
+// over Engine.RunBatch.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,23 +21,27 @@ func main() {
 	instr := flag.Int64("instr", 60_000, "instructions per run")
 	flag.Parse()
 
-	base := vpr.DefaultConfig()
-	conv, err := vpr.Run(vpr.RunSpec{Workload: *workload, Config: base, MaxInstr: *instr})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s: conventional IPC %.3f\n\n", *workload, conv.Stats.IPC())
-	fmt.Println("NRR  speedup  (vs conventional)")
-
-	for _, nrr := range []int{1, 4, 8, 16, 24, 32} {
+	nrrs := []int{1, 4, 8, 16, 24, 32}
+	specs := []vpr.RunSpec{{Workload: *workload, Config: vpr.DefaultConfig(), MaxInstr: *instr}}
+	for _, nrr := range nrrs {
 		cfg := vpr.DefaultConfig()
 		cfg.Scheme = vpr.SchemeVPWriteback
 		cfg.Rename.NRRInt = nrr
 		cfg.Rename.NRRFP = nrr
-		res, err := vpr.Run(vpr.RunSpec{Workload: *workload, Config: cfg, MaxInstr: *instr})
-		if err != nil {
-			log.Fatal(err)
-		}
+		specs = append(specs, vpr.RunSpec{Workload: *workload, Config: cfg, MaxInstr: *instr})
+	}
+
+	eng := vpr.New()
+	results, err := eng.RunBatch(context.Background(), specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conv := results[0]
+	fmt.Printf("%s: conventional IPC %.3f\n\n", *workload, conv.Stats.IPC())
+	fmt.Println("NRR  speedup  (vs conventional)")
+
+	for i, nrr := range nrrs {
+		res := results[1+i]
 		sp := res.Stats.IPC() / conv.Stats.IPC()
 		bar := strings.Repeat("█", int(sp*30))
 		marker := ""

@@ -1,9 +1,11 @@
 // Quickstart: simulate one workload under conventional and virtual-physical
 // renaming and print the headline comparison — the smallest end-to-end use
-// of the library.
+// of the library. The two points are independent, so they go through
+// Engine.RunBatch and run concurrently on multicore machines.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,22 +19,21 @@ func main() {
 	// The default configuration is the paper's §4.1 machine: 8-way
 	// out-of-order, 128-entry ROB, 64 physical registers per file,
 	// 16 KB lockup-free L1.
-	run := func(scheme vpr.Scheme) vpr.Stats {
+	spec := func(scheme vpr.Scheme) vpr.RunSpec {
 		cfg := vpr.DefaultConfig()
 		cfg.Scheme = scheme
-		res, err := vpr.Run(vpr.RunSpec{
-			Workload: workload,
-			Config:   cfg,
-			MaxInstr: instructions,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res.Stats
+		return vpr.RunSpec{Workload: workload, Config: cfg, MaxInstr: instructions}
 	}
 
-	conv := run(vpr.SchemeConventional)
-	vpwb := run(vpr.SchemeVPWriteback)
+	eng := vpr.New() // GOMAXPROCS-wide worker pool, result cache
+	results, err := eng.RunBatch(context.Background(), []vpr.RunSpec{
+		spec(vpr.SchemeConventional),
+		spec(vpr.SchemeVPWriteback),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conv, vpwb := results[0].Stats, results[1].Stats
 
 	fmt.Printf("workload %s, %d instructions, 64 physical registers per file\n\n", workload, instructions)
 	fmt.Printf("conventional renaming:      IPC %.3f  (%d cycles, %.1f FP regs in use)\n",

@@ -2,7 +2,7 @@
 // table of 2-bit up/down saturating counters indexed by the branch PC
 // (2048 entries in the paper's configuration). Unconditional branches and
 // indirect jumps are assumed perfectly predicted (the paper models only the
-// direction predictor; see DESIGN.md §4).
+// direction predictor).
 package bpred
 
 // BHT is the branch history table.

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// cacheKey identifies one simulation point. Two specs with equal keys are
+// guaranteed (workload runs) or asserted by the caller (GenID runs) to
+// produce identical results, so a cached result can stand in for a run.
+type cacheKey [sha256.Size]byte
+
+// specKey canonically hashes a spec's workload/generator identity, machine
+// configuration (scheme, renaming parameters, cache geometry, ... — every
+// field of pipeline.Config is a value type, so %#v is a canonical
+// rendering) and instruction budget. Specs driven by an anonymous custom
+// generator have no stable identity and are reported as not cacheable.
+func specKey(spec sim.Spec) (cacheKey, bool) {
+	if spec.Gen != nil && spec.GenID == "" {
+		return cacheKey{}, false
+	}
+	id := spec.Workload
+	if spec.Gen != nil {
+		id = "gen:" + spec.GenID
+	}
+	return sha256.Sum256([]byte(fmt.Sprintf("run|%s|%d|%#v", id, spec.MaxInstr, spec.Config))), true
+}
+
+// smtKey is specKey for multithreaded runs; SMT specs always name catalog
+// workloads, so they are always cacheable.
+func smtKey(spec sim.SMTSpec) cacheKey {
+	return sha256.Sum256([]byte(fmt.Sprintf("smt|%q|%d|%#v", spec.Workloads, spec.MaxInstrPerThread, spec.Config)))
+}
+
+// resultCache is a concurrency-safe LRU over completed runs. Values are
+// sim.Result or sim.SMTResult depending on the key namespace.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	value any
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *resultCache) get(key cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+func (c *resultCache) put(key cacheKey, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, value: value})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats reports lifetime hit/miss counters.
+func (c *resultCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

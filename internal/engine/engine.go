@@ -1,0 +1,269 @@
+// Package engine turns the single-point simulator in internal/sim into a
+// service: an Engine owns a worker pool and a deterministic result cache
+// and exposes context-aware single, batch and SMT-batch entry points.
+//
+// Batches fan their specs out over the pool and collect results in spec
+// order, so a batch's output is byte-for-byte independent of the
+// parallelism level — the simulator itself is deterministic, and ordering
+// is the only thing concurrency could perturb. The cache is keyed by a
+// canonical hash of workload/generator identity, machine configuration and
+// instruction budget (see specKey), so overlapping sweeps — e.g. the
+// conventional baseline shared by figures 4, 5 and 7 — never re-simulate
+// the same point.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// DefaultCacheCapacity bounds the default result cache. Entries are a few
+// hundred bytes of statistics each; 4096 comfortably covers every point of
+// every registered experiment at several instruction budgets.
+const DefaultCacheCapacity = 4096
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism caps the number of concurrently running simulations in a
+// batch. n < 1 selects GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithCache sizes the deterministic result cache (entries, LRU-evicted).
+// capacity <= 0 disables caching entirely.
+func WithCache(capacity int) Option {
+	return func(e *Engine) { e.cacheCapacity = capacity }
+}
+
+// WithProgress installs a callback invoked once per completed batch point
+// (cache hits included). It may be called from multiple goroutines; the
+// Engine serializes the calls.
+func WithProgress(fn func(format string, args ...any)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithRunHook installs a callback invoked immediately before every actual
+// simulation — cache hits do not fire it — which makes cache behaviour
+// observable (count the calls) and supports external metering. It may be
+// called from multiple goroutines.
+func WithRunHook(fn func(spec sim.Spec)) Option {
+	return func(e *Engine) { e.runHook = fn }
+}
+
+// Engine executes simulation points with bounded parallelism and result
+// caching. The zero value is not ready; use New. An Engine is safe for
+// concurrent use.
+type Engine struct {
+	parallelism   int
+	cacheCapacity int
+	cache         *resultCache
+	runHook       func(sim.Spec)
+
+	progressMu sync.Mutex
+	progress   func(format string, args ...any)
+}
+
+// New builds an Engine. Defaults: parallelism = GOMAXPROCS, cache of
+// DefaultCacheCapacity entries, no progress output.
+func New(opts ...Option) *Engine {
+	e := &Engine{parallelism: 0, cacheCapacity: DefaultCacheCapacity}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.parallelism < 1 {
+		e.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if e.cacheCapacity > 0 {
+		e.cache = newResultCache(e.cacheCapacity)
+	}
+	return e
+}
+
+// Parallelism reports the worker-pool width batches run with.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// CacheStats reports lifetime cache hits and misses (zeros when caching is
+// disabled).
+func (e *Engine) CacheStats() (hits, misses int64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
+}
+
+func (e *Engine) progressf(format string, args ...any) {
+	if e.progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	defer e.progressMu.Unlock()
+	e.progress(format, args...)
+}
+
+// Run executes one point, consulting and populating the cache.
+func (e *Engine) Run(ctx context.Context, spec sim.Spec) (sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	key, cacheable := specKey(spec)
+	if cacheable && e.cache != nil {
+		if v, ok := e.cache.get(key); ok {
+			e.progressf("engine: cached %s", runLabel(spec))
+			return v.(sim.Result), nil
+		}
+	}
+	if e.runHook != nil {
+		e.runHook(spec)
+	}
+	res, err := sim.RunContext(ctx, spec)
+	if err != nil {
+		return res, err
+	}
+	if cacheable && e.cache != nil {
+		e.cache.put(key, res)
+	}
+	e.progressf("engine: ran %s", runLabel(spec))
+	return res, nil
+}
+
+// RunSMT executes one multithreaded point, consulting and populating the
+// cache.
+func (e *Engine) RunSMT(ctx context.Context, spec sim.SMTSpec) (sim.SMTResult, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.SMTResult{}, err
+	}
+	key := smtKey(spec)
+	if e.cache != nil {
+		if v, ok := e.cache.get(key); ok {
+			e.progressf("engine: cached smt %v", spec.Workloads)
+			return copySMTResult(v.(sim.SMTResult)), nil
+		}
+	}
+	res, err := sim.RunSMTContext(ctx, spec)
+	if err != nil {
+		return res, err
+	}
+	if e.cache != nil {
+		e.cache.put(key, copySMTResult(res))
+	}
+	e.progressf("engine: ran smt %v", spec.Workloads)
+	return res, nil
+}
+
+// copySMTResult deep-copies the result's slice so cached entries never
+// share a backing array with what callers receive (sim.Result needs no
+// equivalent: pipeline.Stats is all scalars).
+func copySMTResult(r sim.SMTResult) sim.SMTResult {
+	r.PerThreadCommitted = append([]int64(nil), r.PerThreadCommitted...)
+	return r
+}
+
+// RunBatch fans specs out over the worker pool and returns results in spec
+// order. The first error cancels the remaining work and is returned; if
+// ctx is cancelled, the returned error satisfies errors.Is(err,
+// ctx.Err()) (a cancellation that lands mid-simulation arrives wrapped
+// with the workload name). Results are identical at every parallelism
+// level.
+func (e *Engine) RunBatch(ctx context.Context, specs []sim.Spec) ([]sim.Result, error) {
+	results := make([]sim.Result, len(specs))
+	err := e.forEach(ctx, len(specs), func(ctx context.Context, i int) error {
+		res, err := e.Run(ctx, specs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunSMTBatch is RunBatch for multithreaded points.
+func (e *Engine) RunSMTBatch(ctx context.Context, specs []sim.SMTSpec) ([]sim.SMTResult, error) {
+	results := make([]sim.SMTResult, len(specs))
+	err := e.forEach(ctx, len(specs), func(ctx context.Context, i int) error {
+		res, err := e.RunSMT(ctx, specs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// forEach runs fn(0..n-1) over the worker pool, cancelling the batch on
+// the first error and returning it.
+func (e *Engine) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.parallelism
+	if workers > n {
+		workers = n
+	}
+	indexes := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if ctx.Err() != nil {
+					fail(ctx.Err())
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			i = n // stop feeding; workers drain via ctx
+		}
+	}
+	close(indexes)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+func runLabel(spec sim.Spec) string {
+	if spec.Workload != "" {
+		return spec.Workload
+	}
+	if spec.GenID != "" {
+		return "gen:" + spec.GenID
+	}
+	return "custom"
+}

@@ -1,8 +1,15 @@
-// Package experiments contains one runner per table and figure of the
-// paper's evaluation (§4.2), plus the ablations DESIGN.md lists. Each
-// runner sweeps internal/sim over the workload catalog and returns
-// structured results; rendering to the paper's row/series shapes lives in
-// report.go and is shared by cmd/vptables and EXPERIMENTS.md generation.
+// Package experiments turns the paper's evaluation (§4.2) into a
+// data-driven experiment registry: every table, figure, ablation and the
+// SMT future-work study is a named Experiment value (see registry.go) that
+// *builds* a flat list of simulation points and *reduces* the completed
+// runs into its typed result. The engine layer executes those points with
+// bounded parallelism and a deterministic result cache; rendering to the
+// paper's row/series shapes lives in report.go and is shared by
+// cmd/vptables and README/EXPERIMENTS generation.
+//
+// The original free-function runners (RunTable2, RunNRRSweep, ...) remain
+// as deprecated wrappers that execute the same plans on a fresh default
+// engine.
 package experiments
 
 import (
@@ -45,6 +52,17 @@ func (o Options) progress(format string, args ...any) {
 	}
 }
 
+// checkWorkloads validates the option's workload subset against the
+// catalog, so plan building fails fast instead of deep inside a batch.
+func (o Options) checkWorkloads() error {
+	for _, name := range o.workloads() {
+		if _, ok := workloads.ByName(name); !ok {
+			return fmt.Errorf("experiments: unknown workload %q", name)
+		}
+	}
+	return nil
+}
+
 // baseConfig is the paper's machine with the given scheme, register count
 // and NRR (applied to both files, as in §4.2).
 func baseConfig(scheme core.Scheme, physRegs, nrr int) pipeline.Config {
@@ -56,9 +74,15 @@ func baseConfig(scheme core.Scheme, physRegs, nrr int) pipeline.Config {
 	return cfg
 }
 
-// runOne executes a single workload × configuration point.
+// point is one simulation point of a plan.
+func point(name string, cfg pipeline.Config, instr int64) sim.Spec {
+	return sim.Spec{Workload: name, Config: cfg, MaxInstr: instr}
+}
+
+// runOne executes a single workload × configuration point synchronously —
+// the legacy path used by Run.
 func runOne(name string, cfg pipeline.Config, instr int64) (sim.Result, error) {
-	return sim.Run(sim.Spec{Workload: name, Config: cfg, MaxInstr: instr})
+	return sim.Run(point(name, cfg, instr))
 }
 
 // Run is the generic cell evaluator used by the CLI for one-off points.
@@ -103,69 +127,85 @@ type Table2 struct {
 	AvgExecPerCommit float64
 }
 
-// RunTable2 executes the experiment.
-func RunTable2(opts Options, withPenalty20 bool) (Table2, error) {
+// table2Plan builds the Table 2 spec list: per workload a conventional and
+// a VP write-back point, then (optionally) the same pairs with a 20-cycle
+// miss penalty.
+func table2Plan(opts Options, withPenalty20 bool) (Plan, error) {
+	if err := opts.checkWorkloads(); err != nil {
+		return Plan{}, err
+	}
 	const physRegs = 64
 	nrr := physRegs - 32
-	var out Table2
-	var convIPCs, vpIPCs []float64
-	var execSum float64
-	for _, name := range opts.workloads() {
-		w, ok := workloads.ByName(name)
-		if !ok {
-			return out, fmt.Errorf("experiments: unknown workload %q", name)
-		}
-		conv, err := runOne(name, baseConfig(core.SchemeConventional, physRegs, nrr), opts.instr())
-		if err != nil {
-			return out, err
-		}
-		vp, err := runOne(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr())
-		if err != nil {
-			return out, err
-		}
-		row := Table2Row{
-			Workload:       name,
-			Class:          w.Class,
-			ConvIPC:        conv.Stats.IPC(),
-			VPIPC:          vp.Stats.IPC(),
-			ImprovementPct: improvementPct(conv.Stats.IPC(), vp.Stats.IPC()),
-			ExecPerCommit:  vp.Stats.ExecPerCommit(),
-		}
-		out.Rows = append(out.Rows, row)
-		convIPCs = append(convIPCs, row.ConvIPC)
-		vpIPCs = append(vpIPCs, row.VPIPC)
-		execSum += row.ExecPerCommit
-		opts.progress("table2 %-9s conv %.3f vp %.3f (%+.0f%%)", name, row.ConvIPC, row.VPIPC, row.ImprovementPct)
+	names := opts.workloads()
+	var specs []sim.Spec
+	for _, name := range names {
+		specs = append(specs,
+			point(name, baseConfig(core.SchemeConventional, physRegs, nrr), opts.instr()),
+			point(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr()))
 	}
-	out.HarmonicConv = harmonicMean(convIPCs)
-	out.HarmonicVP = harmonicMean(vpIPCs)
-	out.ImprovementPct = improvementPct(out.HarmonicConv, out.HarmonicVP)
-	out.AvgExecPerCommit = execSum / float64(len(out.Rows))
-
 	if withPenalty20 {
-		var conv20, vp20 []float64
-		for _, name := range opts.workloads() {
-			mutate := func(cfg *pipeline.Config) { cfg.Cache.MissPenalty = 20 }
+		for _, name := range names {
 			c := baseConfig(core.SchemeConventional, physRegs, nrr)
-			mutate(&c)
-			conv, err := runOne(name, c, opts.instr())
-			if err != nil {
-				return out, err
-			}
+			c.Cache.MissPenalty = 20
 			v := baseConfig(core.SchemeVPWriteback, physRegs, nrr)
-			mutate(&v)
-			vp, err := runOne(name, v, opts.instr())
-			if err != nil {
-				return out, err
-			}
-			conv20 = append(conv20, conv.Stats.IPC())
-			vp20 = append(vp20, vp.Stats.IPC())
-			opts.progress("table2/p20 %-9s conv %.3f vp %.3f", name, conv.Stats.IPC(), vp.Stats.IPC())
+			v.Cache.MissPenalty = 20
+			specs = append(specs, point(name, c, opts.instr()), point(name, v, opts.instr()))
 		}
-		out.Penalty20ImprovementPct = improvementPct(harmonicMean(conv20), harmonicMean(vp20))
-		out.HavePenalty20 = true
 	}
-	return out, nil
+	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+		var out Table2
+		var convIPCs, vpIPCs []float64
+		var execSum float64
+		for i, name := range names {
+			w, _ := workloads.ByName(name)
+			conv, vp := runs[2*i], runs[2*i+1]
+			row := Table2Row{
+				Workload:       name,
+				Class:          w.Class,
+				ConvIPC:        conv.Stats.IPC(),
+				VPIPC:          vp.Stats.IPC(),
+				ImprovementPct: improvementPct(conv.Stats.IPC(), vp.Stats.IPC()),
+				ExecPerCommit:  vp.Stats.ExecPerCommit(),
+			}
+			out.Rows = append(out.Rows, row)
+			convIPCs = append(convIPCs, row.ConvIPC)
+			vpIPCs = append(vpIPCs, row.VPIPC)
+			execSum += row.ExecPerCommit
+			opts.progress("table2 %-9s conv %.3f vp %.3f (%+.0f%%)", name, row.ConvIPC, row.VPIPC, row.ImprovementPct)
+		}
+		out.HarmonicConv = harmonicMean(convIPCs)
+		out.HarmonicVP = harmonicMean(vpIPCs)
+		out.ImprovementPct = improvementPct(out.HarmonicConv, out.HarmonicVP)
+		out.AvgExecPerCommit = execSum / float64(len(out.Rows))
+
+		if withPenalty20 {
+			base := 2 * len(names)
+			var conv20, vp20 []float64
+			for i, name := range names {
+				conv, vp := runs[base+2*i], runs[base+2*i+1]
+				conv20 = append(conv20, conv.Stats.IPC())
+				vp20 = append(vp20, vp.Stats.IPC())
+				opts.progress("table2/p20 %-9s conv %.3f vp %.3f", name, conv.Stats.IPC(), vp.Stats.IPC())
+			}
+			out.Penalty20ImprovementPct = improvementPct(harmonicMean(conv20), harmonicMean(vp20))
+			out.HavePenalty20 = true
+		}
+		return out, nil
+	}
+	return Plan{Specs: specs, Reduce: reduce}, nil
+}
+
+// RunTable2 executes the experiment.
+//
+// Deprecated: construct an engine and use Experiment "table2" via
+// Experiment.Run (or vpr.Engine.RunExperiment) instead; this wrapper runs
+// the same plan on a fresh default engine.
+func RunTable2(opts Options, withPenalty20 bool) (Table2, error) {
+	v, err := runPlan(table2Plan(opts, withPenalty20))
+	if err != nil {
+		return Table2{}, err
+	}
+	return v.(Table2), nil
 }
 
 // --- Figures 4 and 5 (NRR sweeps) -------------------------------------------------
@@ -182,36 +222,59 @@ type NRRSweep struct {
 	Speedup map[string][]float64
 }
 
-// RunNRRSweep reproduces figure 4 (SchemeVPWriteback) or figure 5
-// (SchemeVPIssue): 64 physical registers, NRR swept over nrrs.
-func RunNRRSweep(scheme core.Scheme, nrrs []int, opts Options) (NRRSweep, error) {
+// nrrSweepPlan builds figure 4 (SchemeVPWriteback) or figure 5
+// (SchemeVPIssue): per workload one conventional baseline point and one VP
+// point per NRR value, at 64 physical registers.
+func nrrSweepPlan(scheme core.Scheme, nrrs []int, opts Options) (Plan, error) {
+	if err := opts.checkWorkloads(); err != nil {
+		return Plan{}, err
+	}
 	const physRegs = 64
 	if len(nrrs) == 0 {
 		nrrs = PaperNRRs
 	}
-	out := NRRSweep{
-		Scheme:  scheme,
-		NRRs:    nrrs,
-		ConvIPC: map[string]float64{},
-		Speedup: map[string][]float64{},
-	}
-	for _, name := range opts.workloads() {
-		conv, err := runOne(name, baseConfig(core.SchemeConventional, physRegs, physRegs-32), opts.instr())
-		if err != nil {
-			return out, err
-		}
-		out.ConvIPC[name] = conv.Stats.IPC()
+	names := opts.workloads()
+	stride := 1 + len(nrrs)
+	var specs []sim.Spec
+	for _, name := range names {
+		specs = append(specs, point(name, baseConfig(core.SchemeConventional, physRegs, physRegs-32), opts.instr()))
 		for _, nrr := range nrrs {
-			vp, err := runOne(name, baseConfig(scheme, physRegs, nrr), opts.instr())
-			if err != nil {
-				return out, err
-			}
-			sp := speedup(conv.Stats.IPC(), vp.Stats.IPC())
-			out.Speedup[name] = append(out.Speedup[name], sp)
-			opts.progress("%s %-9s nrr=%-2d speedup %.3f", scheme, name, nrr, sp)
+			specs = append(specs, point(name, baseConfig(scheme, physRegs, nrr), opts.instr()))
 		}
 	}
-	return out, nil
+	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+		out := NRRSweep{
+			Scheme:  scheme,
+			NRRs:    nrrs,
+			ConvIPC: map[string]float64{},
+			Speedup: map[string][]float64{},
+		}
+		for i, name := range names {
+			conv := runs[i*stride]
+			out.ConvIPC[name] = conv.Stats.IPC()
+			for j, nrr := range nrrs {
+				vp := runs[i*stride+1+j]
+				sp := speedup(conv.Stats.IPC(), vp.Stats.IPC())
+				out.Speedup[name] = append(out.Speedup[name], sp)
+				opts.progress("%s %-9s nrr=%-2d speedup %.3f", scheme, name, nrr, sp)
+			}
+		}
+		return out, nil
+	}
+	return Plan{Specs: specs, Reduce: reduce}, nil
+}
+
+// RunNRRSweep reproduces figure 4 (SchemeVPWriteback) or figure 5
+// (SchemeVPIssue): 64 physical registers, NRR swept over nrrs.
+//
+// Deprecated: use Experiment "fig4"/"fig5" via Experiment.Run (or
+// vpr.Engine.RunExperiment) instead.
+func RunNRRSweep(scheme core.Scheme, nrrs []int, opts Options) (NRRSweep, error) {
+	v, err := runPlan(nrrSweepPlan(scheme, nrrs, opts))
+	if err != nil {
+		return NRRSweep{}, err
+	}
+	return v.(NRRSweep), nil
 }
 
 // MeanSpeedupAt returns the arithmetic-mean speedup across workloads at
@@ -233,33 +296,48 @@ type Fig6Row struct {
 	IssueSpeedup     float64
 }
 
-// RunFigure6 reproduces figure 6: both policies at NRR=32 (the optimum the
+// figure6Plan builds figure 6: both policies at NRR=32 (the optimum the
 // paper found for both), speedup over the conventional scheme.
-func RunFigure6(opts Options) ([]Fig6Row, error) {
+func figure6Plan(opts Options) (Plan, error) {
+	if err := opts.checkWorkloads(); err != nil {
+		return Plan{}, err
+	}
 	const physRegs = 64
 	nrr := physRegs - 32
-	var rows []Fig6Row
-	for _, name := range opts.workloads() {
-		conv, err := runOne(name, baseConfig(core.SchemeConventional, physRegs, nrr), opts.instr())
-		if err != nil {
-			return nil, err
-		}
-		wb, err := runOne(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr())
-		if err != nil {
-			return nil, err
-		}
-		iss, err := runOne(name, baseConfig(core.SchemeVPIssue, physRegs, nrr), opts.instr())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig6Row{
-			Workload:         name,
-			WritebackSpeedup: speedup(conv.Stats.IPC(), wb.Stats.IPC()),
-			IssueSpeedup:     speedup(conv.Stats.IPC(), iss.Stats.IPC()),
-		})
-		opts.progress("fig6 %-9s wb %.3f issue %.3f", name, rows[len(rows)-1].WritebackSpeedup, rows[len(rows)-1].IssueSpeedup)
+	names := opts.workloads()
+	var specs []sim.Spec
+	for _, name := range names {
+		specs = append(specs,
+			point(name, baseConfig(core.SchemeConventional, physRegs, nrr), opts.instr()),
+			point(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr()),
+			point(name, baseConfig(core.SchemeVPIssue, physRegs, nrr), opts.instr()))
 	}
-	return rows, nil
+	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+		var rows []Fig6Row
+		for i, name := range names {
+			conv, wb, iss := runs[3*i], runs[3*i+1], runs[3*i+2]
+			rows = append(rows, Fig6Row{
+				Workload:         name,
+				WritebackSpeedup: speedup(conv.Stats.IPC(), wb.Stats.IPC()),
+				IssueSpeedup:     speedup(conv.Stats.IPC(), iss.Stats.IPC()),
+			})
+			opts.progress("fig6 %-9s wb %.3f issue %.3f", name, rows[len(rows)-1].WritebackSpeedup, rows[len(rows)-1].IssueSpeedup)
+		}
+		return rows, nil
+	}
+	return Plan{Specs: specs, Reduce: reduce}, nil
+}
+
+// RunFigure6 reproduces figure 6.
+//
+// Deprecated: use Experiment "fig6" via Experiment.Run (or
+// vpr.Engine.RunExperiment) instead.
+func RunFigure6(opts Options) ([]Fig6Row, error) {
+	v, err := runPlan(figure6Plan(opts))
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Fig6Row), nil
 }
 
 // --- Figure 7 (register-count sweep) -----------------------------------------------
@@ -280,25 +358,49 @@ type Fig7 struct {
 	Cells     map[string][]Fig7Cell
 }
 
-// RunFigure7 reproduces figure 7.
-func RunFigure7(opts Options) (Fig7, error) {
-	out := Fig7{RegCounts: PaperRegCounts, Cells: map[string][]Fig7Cell{}}
-	for _, name := range opts.workloads() {
-		for _, regs := range out.RegCounts {
+// figure7Plan builds figure 7: per workload and register count a
+// conventional and a VP write-back point, NRR at its maximum.
+func figure7Plan(opts Options) (Plan, error) {
+	if err := opts.checkWorkloads(); err != nil {
+		return Plan{}, err
+	}
+	names := opts.workloads()
+	regCounts := PaperRegCounts
+	var specs []sim.Spec
+	for _, name := range names {
+		for _, regs := range regCounts {
 			nrr := regs - 32
-			conv, err := runOne(name, baseConfig(core.SchemeConventional, regs, nrr), opts.instr())
-			if err != nil {
-				return out, err
-			}
-			vp, err := runOne(name, baseConfig(core.SchemeVPWriteback, regs, nrr), opts.instr())
-			if err != nil {
-				return out, err
-			}
-			out.Cells[name] = append(out.Cells[name], Fig7Cell{ConvIPC: conv.Stats.IPC(), VPIPC: vp.Stats.IPC()})
-			opts.progress("fig7 %-9s regs=%-2d conv %.3f vp %.3f", name, regs, conv.Stats.IPC(), vp.Stats.IPC())
+			specs = append(specs,
+				point(name, baseConfig(core.SchemeConventional, regs, nrr), opts.instr()),
+				point(name, baseConfig(core.SchemeVPWriteback, regs, nrr), opts.instr()))
 		}
 	}
-	return out, nil
+	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+		out := Fig7{RegCounts: regCounts, Cells: map[string][]Fig7Cell{}}
+		k := 0
+		for _, name := range names {
+			for _, regs := range regCounts {
+				conv, vp := runs[k], runs[k+1]
+				k += 2
+				out.Cells[name] = append(out.Cells[name], Fig7Cell{ConvIPC: conv.Stats.IPC(), VPIPC: vp.Stats.IPC()})
+				opts.progress("fig7 %-9s regs=%-2d conv %.3f vp %.3f", name, regs, conv.Stats.IPC(), vp.Stats.IPC())
+			}
+		}
+		return out, nil
+	}
+	return Plan{Specs: specs, Reduce: reduce}, nil
+}
+
+// RunFigure7 reproduces figure 7.
+//
+// Deprecated: use Experiment "fig7" via Experiment.Run (or
+// vpr.Engine.RunExperiment) instead.
+func RunFigure7(opts Options) (Fig7, error) {
+	v, err := runPlan(figure7Plan(opts))
+	if err != nil {
+		return Fig7{}, err
+	}
+	return v.(Fig7), nil
 }
 
 // MeanImprovementAt returns the average VP improvement (percent) across

@@ -19,7 +19,21 @@ type SMTRow struct {
 	ImprovementPct float64
 }
 
-// RunSMTScaling realizes the paper's §5 future-work prediction: "in the
+// smtDefaultSubset is the representative workload subset the registry's
+// "smt" experiment defaults to: the full catalog × three thread counts is
+// slow, and the register-file sharing story is told by these five.
+var smtDefaultSubset = []string{"hydro2d", "mgrid", "swim", "compress", "go"}
+
+// withSMTDefaultWorkloads applies smtDefaultSubset when the caller did not
+// restrict the workload set.
+func withSMTDefaultWorkloads(opts Options) Options {
+	if len(opts.Workloads) == 0 {
+		opts.Workloads = smtDefaultSubset
+	}
+	return opts
+}
+
+// smtScalingPlan realizes the paper's §5 future-work prediction: "in the
 // context of multithreaded architectures the benefits of the
 // virtual-physical register organization will be more important". Each
 // point runs n copies of the workload on an SMT machine whose shared
@@ -27,40 +41,67 @@ type SMTRow struct {
 // (32·n architectural + 32), with the aggregate NRR reservation split
 // evenly. VP's improvement over the conventional scheme is expected to
 // hold or grow as threads multiply the pressure on the shared file.
-func RunSMTScaling(threadCounts []int, opts Options) ([]SMTRow, error) {
+func smtScalingPlan(threadCounts []int, opts Options) (Plan, error) {
+	if err := opts.checkWorkloads(); err != nil {
+		return Plan{}, err
+	}
 	if len(threadCounts) == 0 {
 		threadCounts = []int{1, 2, 4}
 	}
-	var rows []SMTRow
-	for _, name := range opts.workloads() {
-		for _, n := range threadCounts {
-			if n < 1 {
-				return nil, fmt.Errorf("experiments: bad thread count %d", n)
-			}
-			conv, err := runSMTPoint(name, core.SchemeConventional, n, opts)
-			if err != nil {
-				return nil, err
-			}
-			vp, err := runSMTPoint(name, core.SchemeVPWriteback, n, opts)
-			if err != nil {
-				return nil, err
-			}
-			row := SMTRow{
-				Workload:       name,
-				Threads:        n,
-				ConvIPC:        conv.Stats.IPC(),
-				VPIPC:          vp.Stats.IPC(),
-				ImprovementPct: improvementPct(conv.Stats.IPC(), vp.Stats.IPC()),
-			}
-			rows = append(rows, row)
-			opts.progress("smt %-9s threads=%d conv %.3f vp %.3f (%+.0f%%)",
-				name, n, row.ConvIPC, row.VPIPC, row.ImprovementPct)
+	for _, n := range threadCounts {
+		if n < 1 {
+			return Plan{}, fmt.Errorf("experiments: bad thread count %d", n)
 		}
 	}
-	return rows, nil
+	names := opts.workloads()
+	var specs []sim.SMTSpec
+	for _, name := range names {
+		for _, n := range threadCounts {
+			specs = append(specs,
+				smtPointSpec(name, core.SchemeConventional, n, opts),
+				smtPointSpec(name, core.SchemeVPWriteback, n, opts))
+		}
+	}
+	reduce := func(_ []sim.Result, smt []sim.SMTResult) (any, error) {
+		var rows []SMTRow
+		k := 0
+		for _, name := range names {
+			for _, n := range threadCounts {
+				conv, vp := smt[k], smt[k+1]
+				k += 2
+				row := SMTRow{
+					Workload:       name,
+					Threads:        n,
+					ConvIPC:        conv.Stats.IPC(),
+					VPIPC:          vp.Stats.IPC(),
+					ImprovementPct: improvementPct(conv.Stats.IPC(), vp.Stats.IPC()),
+				}
+				rows = append(rows, row)
+				opts.progress("smt %-9s threads=%d conv %.3f vp %.3f (%+.0f%%)",
+					name, n, row.ConvIPC, row.VPIPC, row.ImprovementPct)
+			}
+		}
+		return rows, nil
+	}
+	return Plan{SMT: specs, Reduce: reduce}, nil
 }
 
-func runSMTPoint(name string, scheme core.Scheme, threads int, opts Options) (sim.SMTResult, error) {
+// RunSMTScaling executes the SMT scaling study over the full catalog (or
+// the opts subset).
+//
+// Deprecated: use Experiment "smt" via Experiment.Run (or
+// vpr.Engine.RunExperiment) instead; note the registry entry defaults to a
+// representative workload subset where this wrapper defaults to the full
+// catalog.
+func RunSMTScaling(threadCounts []int, opts Options) ([]SMTRow, error) {
+	v, err := runPlan(smtScalingPlan(threadCounts, opts))
+	if err != nil {
+		return nil, err
+	}
+	return v.([]SMTRow), nil
+}
+
+func smtPointSpec(name string, scheme core.Scheme, threads int, opts Options) sim.SMTSpec {
 	cfg := pipeline.DefaultConfig()
 	cfg.Scheme = scheme
 	cfg.Rename.PhysRegs = 32*threads + 32
@@ -74,11 +115,11 @@ func runSMTPoint(name string, scheme core.Scheme, threads int, opts Options) (si
 	for i := range names {
 		names[i] = name
 	}
-	return sim.RunSMT(sim.SMTSpec{
+	return sim.SMTSpec{
 		Workloads:         names,
 		Config:            cfg,
 		MaxInstrPerThread: opts.instr() / int64(threads),
-	})
+	}
 }
 
 // RenderSMT formats the SMT scaling study: aggregate IPC per scheme and
@@ -109,31 +150,57 @@ type LifetimeRow struct {
 	AvgInUse    float64 // mean registers allocated (both classes)
 }
 
-// RunLifetime measures register-holding time for all three schemes — the
+// lifetimeSchemes is the scheme order of the lifetime study's rows.
+var lifetimeSchemes = []core.Scheme{core.SchemeConventional, core.SchemeVPIssue, core.SchemeVPWriteback}
+
+// lifetimePlan measures register-holding time for all three schemes — the
 // experimental counterpart of the paper's §3.1 analytic example (151 vs 88
 // vs 38 register·cycles for decode/issue/write-back allocation).
-func RunLifetime(opts Options) ([]LifetimeRow, error) {
+func lifetimePlan(opts Options) (Plan, error) {
+	if err := opts.checkWorkloads(); err != nil {
+		return Plan{}, err
+	}
 	const physRegs = 64
 	nrr := physRegs - 32
-	var rows []LifetimeRow
-	for _, name := range opts.workloads() {
-		for _, scheme := range []core.Scheme{core.SchemeConventional, core.SchemeVPIssue, core.SchemeVPWriteback} {
-			res, err := runOne(name, baseConfig(scheme, physRegs, nrr), opts.instr())
-			if err != nil {
-				return nil, err
-			}
-			st := res.Stats
-			rows = append(rows, LifetimeRow{
-				Workload:    name,
-				Scheme:      scheme.String(),
-				IPC:         st.IPC(),
-				AvgLifetime: st.AvgRegLifetime(),
-				AvgInUse:    st.AvgIntRegs() + st.AvgFPRegs(),
-			})
-			opts.progress("lifetime %-9s %-8s held %.1f cycles/value", name, scheme, st.AvgRegLifetime())
+	names := opts.workloads()
+	var specs []sim.Spec
+	for _, name := range names {
+		for _, scheme := range lifetimeSchemes {
+			specs = append(specs, point(name, baseConfig(scheme, physRegs, nrr), opts.instr()))
 		}
 	}
-	return rows, nil
+	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+		var rows []LifetimeRow
+		k := 0
+		for _, name := range names {
+			for _, scheme := range lifetimeSchemes {
+				st := runs[k].Stats
+				k++
+				rows = append(rows, LifetimeRow{
+					Workload:    name,
+					Scheme:      scheme.String(),
+					IPC:         st.IPC(),
+					AvgLifetime: st.AvgRegLifetime(),
+					AvgInUse:    st.AvgIntRegs() + st.AvgFPRegs(),
+				})
+				opts.progress("lifetime %-9s %-8s held %.1f cycles/value", name, scheme, st.AvgRegLifetime())
+			}
+		}
+		return rows, nil
+	}
+	return Plan{Specs: specs, Reduce: reduce}, nil
+}
+
+// RunLifetime executes the register-holding-time study.
+//
+// Deprecated: use Experiment "lifetime" via Experiment.Run (or
+// vpr.Engine.RunExperiment) instead.
+func RunLifetime(opts Options) ([]LifetimeRow, error) {
+	v, err := runPlan(lifetimePlan(opts))
+	if err != nil {
+		return nil, err
+	}
+	return v.([]LifetimeRow), nil
 }
 
 // RenderLifetime formats the lifetime study.

@@ -27,6 +27,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -302,7 +303,25 @@ func (s *Sim) Stats() Stats {
 // Run advances the simulation until every trace drains or maxCommits
 // commit in total.
 func (s *Sim) Run(maxCommits int64) (Stats, error) {
+	return s.RunContext(context.Background(), maxCommits)
+}
+
+// ctxCheckCycles bounds how stale a cancellation can go unnoticed: the
+// context is polled once per this many simulated cycles, keeping the check
+// off the per-cycle hot path.
+const ctxCheckCycles = 4096
+
+// RunContext advances the simulation like Run but stops early, returning
+// ctx.Err() and the statistics accumulated so far, once ctx is cancelled.
+func (s *Sim) RunContext(ctx context.Context, maxCommits int64) (Stats, error) {
+	sinceCheck := 0
 	for !s.Done() && (maxCommits <= 0 || s.stats.Committed < maxCommits) {
+		if sinceCheck++; sinceCheck >= ctxCheckCycles {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return s.Stats(), err
+			}
+		}
 		if err := s.Step(); err != nil {
 			return s.Stats(), err
 		}

@@ -1,11 +1,12 @@
 // Package sim orchestrates single simulation runs: it binds a workload (by
 // catalog name or a custom trace generator) to a pipeline configuration,
 // runs it for a bounded number of instructions, and returns the combined
-// result. The experiment runners in internal/experiments are thin sweeps
-// over this entry point.
+// result. The batching, caching and experiment layers in internal/engine
+// and internal/experiments are sweeps over this entry point.
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pipeline"
@@ -20,6 +21,12 @@ type Spec struct {
 	Workload string
 	Gen      trace.Generator
 
+	// GenID optionally names a custom generator for result caching: two
+	// specs with the same non-empty GenID (and the same configuration and
+	// budget) are asserted by the caller to produce identical traces.
+	// Specs with Gen set and GenID empty are never cached.
+	GenID string
+
 	Config   pipeline.Config
 	MaxInstr int64 // trace length; <= 0 means run the trace to completion
 }
@@ -33,6 +40,15 @@ type Result struct {
 
 // Run executes the specification.
 func Run(spec Spec) (Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext executes the specification under ctx: cancellation stops the
+// simulation mid-run and surfaces ctx.Err().
+func RunContext(ctx context.Context, spec Spec) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	gen := spec.Gen
 	name := spec.Workload
 	if gen == nil {
@@ -53,7 +69,7 @@ func Run(spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	stats, err := s.Run(0)
+	stats, err := s.RunContext(ctx, 0)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %s: %w", name, err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pipeline"
@@ -26,6 +27,15 @@ type SMTResult struct {
 
 // RunSMT executes the specification and runs every thread to completion.
 func RunSMT(spec SMTSpec) (SMTResult, error) {
+	return RunSMTContext(context.Background(), spec)
+}
+
+// RunSMTContext executes the specification under ctx: cancellation stops
+// the simulation mid-run and surfaces ctx.Err().
+func RunSMTContext(ctx context.Context, spec SMTSpec) (SMTResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SMTResult{}, err
+	}
 	if len(spec.Workloads) == 0 {
 		return SMTResult{}, fmt.Errorf("sim: SMT run needs at least one workload")
 	}
@@ -48,7 +58,7 @@ func RunSMT(spec SMTSpec) (SMTResult, error) {
 	if err != nil {
 		return SMTResult{}, err
 	}
-	stats, err := s.Run(0)
+	stats, err := s.RunContext(ctx, 0)
 	if err != nil {
 		return SMTResult{}, fmt.Errorf("sim: smt %v: %w", spec.Workloads, err)
 	}

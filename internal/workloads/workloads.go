@@ -7,8 +7,9 @@
 // small assembly program whose *microarchitectural character* matches its
 // namesake: operation mix, working-set size relative to the 16 KB L1,
 // dependence-chain depth, branch predictability, and long-latency operation
-// frequency. DESIGN.md §2 and §5 document the substitution. The kernels run
-// forever (huge outer loops); experiments cut the trace with trace.Take.
+// frequency. The per-kernel comments below document each substitution. The
+// kernels run forever (huge outer loops); experiments cut the trace with
+// trace.Take.
 package workloads
 
 import (

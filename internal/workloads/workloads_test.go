@@ -71,8 +71,8 @@ func TestCatalogIntegrity(t *testing.T) {
 }
 
 // Character checks: each kernel's instruction mix must match its intended
-// role (DESIGN.md §5). These bounds are deliberately loose; they protect the
-// experiments from a kernel silently degenerating (e.g. a mis-assembled
+// role (see the kernel comments in workloads.go). These bounds are loose;
+// they protect the experiments from a kernel silently degenerating (e.g. a mis-assembled
 // branch turning a loop into straight-line code).
 func TestKernelCharacter(t *testing.T) {
 	const n = 30000

@@ -7,25 +7,38 @@
 // tracking dependences meanwhile through storage-less virtual-physical
 // register tags. This package exposes:
 //
-//   - simulation of single workload × machine configuration points (Run),
+//   - Engine, the context-aware entry point: New builds one with functional
+//     options (WithParallelism, WithCache, WithProgress), Engine.Run
+//     simulates one workload × machine configuration point,
+//     Engine.RunBatch fans a spec list out over a worker pool with
+//     cancellation and a deterministic result cache, and
+//     Engine.RunExperiment executes any named experiment from the registry,
+//   - the experiment registry (Experiments): every table and figure of the
+//     paper's evaluation (Table 2, Figures 4–7), four ablations, the SMT
+//     future-work study and the register-lifetime study, each a named,
+//     data-driven experiment that builds a spec list and reduces results,
 //   - the workload catalog named after the paper's SPEC95 benchmarks,
-//   - experiment runners that regenerate every table and figure of the
-//     paper's evaluation (Table2, Figure4..Figure7) plus ablations,
 //   - the §3.1 analytic register-pressure model (ChainPressure),
 //   - an assembler for the mini-ISA, so custom workloads can be written
-//     as assembly text and simulated like the built-in kernels.
+//     as assembly text and simulated like the built-in kernels,
+//   - trace tooling (DumpTrace, OpenTrace, MeasureTraceMix) for inspecting
+//     and persisting the committed-path traces that drive the simulator.
 //
 // Everything underneath — ISA, assembler, functional emulator, trace
-// layer, branch predictor, lockup-free cache, renaming schemes and the
-// out-of-order pipeline — lives in internal packages; this package is the
-// supported API surface. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// layer, branch predictor, lockup-free cache, renaming schemes, the
+// out-of-order pipeline, the batch engine and the experiment registry —
+// lives in internal packages; this package is the supported API surface.
+// See README.md for a quickstart and the experiment registry reference.
 package vpr
 
 import (
+	"context"
+	"io"
+
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/metrics"
@@ -51,15 +64,31 @@ type Config = pipeline.Config
 // RenameParams sizes the renamer (physical registers, NRR, ...).
 type RenameParams = core.Params
 
+// Disambiguation selects the memory-ordering policy for loads.
+type Disambiguation = pipeline.Disambiguation
+
+// The two memory-disambiguation policies.
+const (
+	DisambSpeculative  = pipeline.DisambSpeculative  // PA-8000-style address reorder buffer
+	DisambConservative = pipeline.DisambConservative // loads wait for older store addresses
+)
+
 // Stats is the statistics block a run produces.
 type Stats = pipeline.Stats
 
 // RunSpec describes one simulation (workload or custom generator, machine
-// configuration, instruction budget).
+// configuration, instruction budget). Set GenID when supplying a custom
+// generator that should participate in result caching.
 type RunSpec = sim.Spec
 
 // Result is a completed run.
 type Result = sim.Result
+
+// SMTSpec and SMTResult describe direct multithreaded runs.
+type (
+	SMTSpec   = sim.SMTSpec
+	SMTResult = sim.SMTResult
+)
 
 // DefaultConfig returns the paper's machine: 8-way out-of-order, 128-entry
 // ROB, Table 1 functional units, 64 physical registers per file, 16 KB
@@ -67,8 +96,245 @@ type Result = sim.Result
 // memory disambiguation.
 func DefaultConfig() Config { return pipeline.DefaultConfig() }
 
-// Run simulates one point.
+// --- Engine -------------------------------------------------------------------
+
+// EngineOption configures an Engine built by New.
+type EngineOption = engine.Option
+
+// WithParallelism caps the number of concurrently running simulations in a
+// batch. n < 1 selects GOMAXPROCS.
+func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
+
+// WithCache sizes the engine's deterministic result cache (entries,
+// LRU-evicted). The cache is keyed by a canonical hash of
+// workload/generator identity, machine configuration and instruction
+// budget, so overlapping sweeps — e.g. the conventional baselines shared
+// by figures 4, 5 and 7 — never re-simulate the same point. capacity <= 0
+// disables caching.
+func WithCache(capacity int) EngineOption { return engine.WithCache(capacity) }
+
+// WithProgress installs a callback invoked once per completed point (cache
+// hits included). The engine serializes the calls.
+func WithProgress(fn func(format string, args ...any)) EngineOption {
+	return engine.WithProgress(fn)
+}
+
+// WithRunHook installs a callback fired immediately before every actual
+// simulation; cache hits do not fire it. Useful for metering and for
+// asserting cache behaviour in tests.
+func WithRunHook(fn func(spec RunSpec)) EngineOption { return engine.WithRunHook(fn) }
+
+// Engine executes simulation points and experiments with bounded
+// parallelism and result caching. Construct with New; an Engine is safe
+// for concurrent use.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// New builds an Engine. Defaults: parallelism = GOMAXPROCS and a result
+// cache of engine.DefaultCacheCapacity entries.
+func New(opts ...EngineOption) *Engine {
+	return &Engine{eng: engine.New(opts...)}
+}
+
+// Parallelism reports the worker-pool width batches run with.
+func (e *Engine) Parallelism() int { return e.eng.Parallelism() }
+
+// CacheStats reports lifetime result-cache hits and misses.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.eng.CacheStats() }
+
+// Run simulates one point under ctx, consulting and populating the result
+// cache.
+func (e *Engine) Run(ctx context.Context, spec RunSpec) (Result, error) {
+	return e.eng.Run(ctx, spec)
+}
+
+// RunBatch fans specs out over the worker pool and returns results in spec
+// order. Results are identical at every parallelism level; the first
+// error (or ctx cancellation — test with errors.Is, since a cancellation
+// landing mid-simulation arrives wrapped) stops the batch.
+func (e *Engine) RunBatch(ctx context.Context, specs []RunSpec) ([]Result, error) {
+	return e.eng.RunBatch(ctx, specs)
+}
+
+// RunSMT simulates one multithreaded machine under ctx: one workload per
+// hardware thread sharing the pipeline, cache and physical register files.
+func (e *Engine) RunSMT(ctx context.Context, spec SMTSpec) (SMTResult, error) {
+	return e.eng.RunSMT(ctx, spec)
+}
+
+// RunSMTBatch is RunBatch for multithreaded points.
+func (e *Engine) RunSMTBatch(ctx context.Context, specs []SMTSpec) ([]SMTResult, error) {
+	return e.eng.RunSMTBatch(ctx, specs)
+}
+
+// RunExperiment builds the named experiment's spec list, executes it
+// through the engine's worker pool and cache, and reduces the runs into
+// the experiment's typed result plus its paper-shaped rendering. The
+// available names are listed by Experiments.
+func (e *Engine) RunExperiment(ctx context.Context, name string, opts ExperimentOptions) (ExperimentResult, error) {
+	exp, ok := experiments.ByName(name)
+	if !ok {
+		return ExperimentResult{}, &UnknownExperimentError{Name: name}
+	}
+	v, err := exp.Run(ctx, e.eng, opts)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	return ExperimentResult{Name: name, Value: v, Text: exp.Render(v)}, nil
+}
+
+// Run simulates one point on a throwaway engine.
+//
+// Deprecated: construct an Engine with New and use Engine.Run, which adds
+// context cancellation and result caching.
 func Run(spec RunSpec) (Result, error) { return sim.Run(spec) }
+
+// RunSMT simulates one multithreaded machine on a throwaway engine.
+//
+// Deprecated: construct an Engine with New and use Engine.RunSMT.
+func RunSMT(spec SMTSpec) (SMTResult, error) { return sim.RunSMT(spec) }
+
+// --- Experiment registry ------------------------------------------------------
+
+// ExperimentOptions tune the experiment runners (instruction budget per
+// run, workload subset, progress callback).
+type ExperimentOptions = experiments.Options
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	// Name keys the experiment for Engine.RunExperiment.
+	Name string
+	// Title is a one-line description for listings and CLI help.
+	Title string
+	// Reproduces names the paper artifact or repository study the
+	// experiment regenerates.
+	Reproduces string
+}
+
+// Experiments enumerates the registry in the paper's reporting order:
+// every table and figure of the evaluation, the ablations, and the SMT
+// future-work study. CLI help and documentation are generated from this
+// list rather than hand-maintained.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.Registry() {
+		out = append(out, ExperimentInfo{Name: e.Name, Title: e.Title, Reproduces: e.Reproduces})
+	}
+	return out
+}
+
+// ExperimentResult is a completed experiment: the typed result value
+// (Table2, NRRSweep, []AblationRow, ...) and its rendering in the paper's
+// row/series shape.
+type ExperimentResult struct {
+	Name  string
+	Value any
+	Text  string
+}
+
+// UnknownExperimentError reports an experiment name not in the registry.
+type UnknownExperimentError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "vpr: unknown experiment " + e.Name
+}
+
+// Experiment result types, re-exported for consumers of the runners.
+type (
+	Table2      = experiments.Table2
+	NRRSweep    = experiments.NRRSweep
+	Fig6Row     = experiments.Fig6Row
+	Fig7        = experiments.Fig7
+	AblationRow = experiments.AblationRow
+)
+
+// SMTRow is one point of the simultaneous-multithreading scaling study.
+type SMTRow = experiments.SMTRow
+
+// LifetimeRow is one point of the register-holding-time study (§3.1 in
+// vivo).
+type LifetimeRow = experiments.LifetimeRow
+
+// RunTable2 reproduces Table 2 (conventional vs VP write-back at 64
+// registers, max NRR), optionally with the 20-cycle miss-penalty footnote.
+//
+// Deprecated: use Engine.RunExperiment(ctx, "table2", opts) instead.
+func RunTable2(opts ExperimentOptions, withPenalty20 bool) (Table2, error) {
+	return experiments.RunTable2(opts, withPenalty20)
+}
+
+// RunFigure4 reproduces figure 4 (VP write-back speedup across NRR).
+//
+// Deprecated: use Engine.RunExperiment(ctx, "fig4", opts) instead.
+func RunFigure4(opts ExperimentOptions) (NRRSweep, error) {
+	return experiments.RunNRRSweep(core.SchemeVPWriteback, nil, opts)
+}
+
+// RunFigure5 reproduces figure 5 (VP issue-allocation speedup across NRR).
+//
+// Deprecated: use Engine.RunExperiment(ctx, "fig5", opts) instead.
+func RunFigure5(opts ExperimentOptions) (NRRSweep, error) {
+	return experiments.RunNRRSweep(core.SchemeVPIssue, nil, opts)
+}
+
+// RunFigure6 reproduces figure 6 (write-back vs issue at NRR=32).
+//
+// Deprecated: use Engine.RunExperiment(ctx, "fig6", opts) instead.
+func RunFigure6(opts ExperimentOptions) ([]Fig6Row, error) {
+	return experiments.RunFigure6(opts)
+}
+
+// RunFigure7 reproduces figure 7 (register-count sweep 48/64/96).
+//
+// Deprecated: use Engine.RunExperiment(ctx, "fig7", opts) instead.
+func RunFigure7(opts ExperimentOptions) (Fig7, error) {
+	return experiments.RunFigure7(opts)
+}
+
+// Ablation runners.
+//
+// Deprecated: use Engine.RunExperiment with "ablation-release",
+// "ablation-disamb", "ablation-recovery" or "ablation-nrr-split" instead.
+var (
+	RunEarlyReleaseAblation   = experiments.RunEarlyReleaseAblation
+	RunDisambiguationAblation = experiments.RunDisambiguationAblation
+	RunRecoveryAblation       = experiments.RunRecoveryAblation
+	RunSplitNRRAblation       = experiments.RunSplitNRRAblation
+)
+
+// RunLifetime measures how long each scheme holds physical registers —
+// the experimental counterpart of the §3.1 analytic example.
+//
+// Deprecated: use Engine.RunExperiment(ctx, "lifetime", opts) instead.
+func RunLifetime(opts ExperimentOptions) ([]LifetimeRow, error) {
+	return experiments.RunLifetime(opts)
+}
+
+// RunSMTScaling realizes the paper's §5 future-work prediction across
+// thread counts (default 1, 2, 4): the virtual-physical advantage under a
+// shared register file.
+//
+// Deprecated: use Engine.RunExperiment(ctx, "smt", opts) instead (note:
+// the registry entry defaults to a representative workload subset; this
+// wrapper defaults to the full catalog).
+func RunSMTScaling(threadCounts []int, opts ExperimentOptions) ([]SMTRow, error) {
+	return experiments.RunSMTScaling(threadCounts, opts)
+}
+
+// Renderers that format experiment results in the paper's row/series shape.
+var (
+	RenderTable2   = experiments.RenderTable2
+	RenderNRRSweep = experiments.RenderNRRSweep
+	RenderFigure6  = experiments.RenderFigure6
+	RenderFigure7  = experiments.RenderFigure7
+	RenderAblation = experiments.RenderAblation
+	RenderSMT      = experiments.RenderSMT
+	RenderLifetime = experiments.RenderLifetime
+)
+
+// --- Workloads and traces -----------------------------------------------------
 
 // Workload describes one catalog entry.
 type Workload struct {
@@ -121,98 +387,36 @@ func NewTrace(p *Program) (trace.Generator, error) {
 	return gen, nil
 }
 
+// TraceGenerator produces committed-path trace records; the catalog,
+// NewTrace and OpenTrace all yield one.
+type TraceGenerator = trace.Generator
+
+// TraceRecord is one committed instruction of a trace.
+type TraceRecord = trace.Record
+
+// TraceFunc adapts a function to a TraceGenerator.
+type TraceFunc = trace.GenFunc
+
+// TraceMix summarizes a trace's dynamic instruction mix.
+type TraceMix = trace.Mix
+
 // TakeTrace bounds a generator to n instructions.
 func TakeTrace(gen trace.Generator, n int64) trace.Generator { return trace.Take(gen, n) }
 
-// --- Experiments ------------------------------------------------------------
+// CollectTrace drains up to n records into a slice.
+func CollectTrace(gen trace.Generator, n int64) []TraceRecord { return trace.Collect(gen, n) }
 
-// ExperimentOptions tune the experiment runners (instruction budget per
-// run, workload subset, progress callback).
-type ExperimentOptions = experiments.Options
-
-// Experiment result types, re-exported for consumers of the runners.
-type (
-	Table2      = experiments.Table2
-	NRRSweep    = experiments.NRRSweep
-	Fig6Row     = experiments.Fig6Row
-	Fig7        = experiments.Fig7
-	AblationRow = experiments.AblationRow
-)
-
-// RunTable2 reproduces Table 2 (conventional vs VP write-back at 64
-// registers, max NRR), optionally with the 20-cycle miss-penalty footnote.
-func RunTable2(opts ExperimentOptions, withPenalty20 bool) (Table2, error) {
-	return experiments.RunTable2(opts, withPenalty20)
+// DumpTrace writes up to n records of gen to w in the binary trace format
+// and reports how many were written.
+func DumpTrace(w io.Writer, gen trace.Generator, n int64) (int64, error) {
+	return trace.Dump(w, gen, n)
 }
 
-// RunFigure4 reproduces figure 4 (VP write-back speedup across NRR).
-func RunFigure4(opts ExperimentOptions) (NRRSweep, error) {
-	return experiments.RunNRRSweep(core.SchemeVPWriteback, nil, opts)
-}
+// OpenTrace reads a binary trace previously written by DumpTrace.
+func OpenTrace(r io.Reader) (trace.Generator, error) { return trace.NewReader(r) }
 
-// RunFigure5 reproduces figure 5 (VP issue-allocation speedup across NRR).
-func RunFigure5(opts ExperimentOptions) (NRRSweep, error) {
-	return experiments.RunNRRSweep(core.SchemeVPIssue, nil, opts)
-}
-
-// RunFigure6 reproduces figure 6 (write-back vs issue at NRR=32).
-func RunFigure6(opts ExperimentOptions) ([]Fig6Row, error) {
-	return experiments.RunFigure6(opts)
-}
-
-// RunFigure7 reproduces figure 7 (register-count sweep 48/64/96).
-func RunFigure7(opts ExperimentOptions) (Fig7, error) {
-	return experiments.RunFigure7(opts)
-}
-
-// Ablation runners (see DESIGN.md §6).
-var (
-	RunEarlyReleaseAblation   = experiments.RunEarlyReleaseAblation
-	RunDisambiguationAblation = experiments.RunDisambiguationAblation
-	RunRecoveryAblation       = experiments.RunRecoveryAblation
-	RunSplitNRRAblation       = experiments.RunSplitNRRAblation
-)
-
-// SMTRow is one point of the simultaneous-multithreading scaling study.
-type SMTRow = experiments.SMTRow
-
-// LifetimeRow is one point of the register-holding-time study (§3.1 in
-// vivo).
-type LifetimeRow = experiments.LifetimeRow
-
-// RunLifetime measures how long each scheme holds physical registers —
-// the experimental counterpart of the §3.1 analytic example.
-func RunLifetime(opts ExperimentOptions) ([]LifetimeRow, error) {
-	return experiments.RunLifetime(opts)
-}
-
-// SMTSpec and SMTResult describe direct multithreaded runs.
-type (
-	SMTSpec   = sim.SMTSpec
-	SMTResult = sim.SMTResult
-)
-
-// RunSMT simulates one multithreaded machine: one workload per hardware
-// thread sharing the pipeline, cache and physical register files.
-func RunSMT(spec SMTSpec) (SMTResult, error) { return sim.RunSMT(spec) }
-
-// RunSMTScaling realizes the paper's §5 future-work prediction across
-// thread counts (default 1, 2, 4): the virtual-physical advantage under a
-// shared register file.
-func RunSMTScaling(threadCounts []int, opts ExperimentOptions) ([]SMTRow, error) {
-	return experiments.RunSMTScaling(threadCounts, opts)
-}
-
-// Renderers that format experiment results in the paper's row/series shape.
-var (
-	RenderTable2   = experiments.RenderTable2
-	RenderNRRSweep = experiments.RenderNRRSweep
-	RenderFigure6  = experiments.RenderFigure6
-	RenderFigure7  = experiments.RenderFigure7
-	RenderAblation = experiments.RenderAblation
-	RenderSMT      = experiments.RenderSMT
-	RenderLifetime = experiments.RenderLifetime
-)
+// MeasureTraceMix measures the dynamic instruction mix of up to n records.
+func MeasureTraceMix(gen trace.Generator, n int64) TraceMix { return trace.MeasureMix(gen, n) }
 
 // --- §3.1 analytic pressure model ---------------------------------------------
 
