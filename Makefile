@@ -14,9 +14,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Benchmarks; BenchmarkRunBatch compares the serial and parallel engine.
+# Benchmarks; BenchmarkRunBatch compares the serial and parallel engine,
+# and vpbench records the perf trajectory into BENCH_pipeline.json
+# (instrs/sec per scheme plus harness timings).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) run ./cmd/vpbench -out BENCH_pipeline.json
 
 # Regenerate every paper table/figure through the registry + engine path.
 tables:

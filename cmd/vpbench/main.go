@@ -1,0 +1,155 @@
+// Command vpbench measures simulator and harness throughput and writes a
+// machine-readable BENCH_pipeline.json, so the repository's performance
+// trajectory is recorded PR over PR (make bench).
+//
+// Two families of numbers are reported:
+//
+//   - scheme points: simulated instructions and cycles per host second for
+//     each renaming scheme on representative workloads, straight from the
+//     kernel's throughput stats (pipeline.Stats);
+//   - harness timings: wall-clock for the full workload × scheme grid
+//     through Engine.RunBatch at parallelism 1 and GOMAXPROCS, the number
+//     `vptables -exp all` effectively pays.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	vpr "repro"
+)
+
+type schemePoint struct {
+	Scheme       string  `json:"scheme"`
+	Workload     string  `json:"workload"`
+	Instr        int64   `json:"instr"`
+	IPC          float64 `json:"ipc"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+}
+
+type harnessTiming struct {
+	Specs           int     `json:"specs"`
+	InstrPerSpec    int64   `json:"instr_per_spec"`
+	Parallelism     int     `json:"parallelism"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	SerialInstrsPS  float64 `json:"serial_instrs_per_sec"`
+	ParallelInstrPS float64 `json:"parallel_instrs_per_sec"`
+}
+
+type report struct {
+	Schema     string        `json:"schema"`
+	Generated  string        `json:"generated"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Schemes    []schemePoint `json:"schemes"`
+	Harness    harnessTiming `json:"harness"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_pipeline.json", "output file")
+		instr     = flag.Int64("instr", 100_000, "instructions per scheme point")
+		gridInstr = flag.Int64("grid-instr", 20_000, "instructions per harness grid point")
+		wls       = flag.String("workloads", "compress,swim,hydro2d", "workloads for the scheme points")
+	)
+	flag.Parse()
+	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "vpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, instr, gridInstr int64, workloads []string) error {
+	rep := report{
+		Schema:     "vpr-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	schemes := []vpr.Scheme{vpr.SchemeConventional, vpr.SchemeVPWriteback, vpr.SchemeVPIssue}
+
+	// Scheme points: fresh engine, cache off, so every point simulates.
+	eng := vpr.New(vpr.WithCache(0))
+	for _, wl := range workloads {
+		for _, scheme := range schemes {
+			cfg := vpr.DefaultConfig()
+			cfg.Scheme = scheme
+			res, err := eng.Run(ctx, vpr.RunSpec{Workload: wl, Config: cfg, MaxInstr: instr})
+			if err != nil {
+				return err
+			}
+			rep.Schemes = append(rep.Schemes, schemePoint{
+				Scheme:       scheme.String(),
+				Workload:     wl,
+				Instr:        res.Stats.Committed,
+				IPC:          res.Stats.IPC(),
+				CyclesPerSec: res.Stats.CyclesPerSec,
+				InstrsPerSec: res.Stats.InstrsPerSec,
+			})
+			fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f\n",
+				scheme, wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec, res.Stats.IPC())
+		}
+	}
+
+	// Harness grid: every catalog workload × scheme, serial vs parallel.
+	var specs []vpr.RunSpec
+	for _, w := range vpr.Workloads() {
+		for _, scheme := range schemes {
+			cfg := vpr.DefaultConfig()
+			cfg.Scheme = scheme
+			specs = append(specs, vpr.RunSpec{Workload: w.Name, Config: cfg, MaxInstr: gridInstr})
+		}
+	}
+	timeBatch := func(par int) (float64, float64, error) {
+		e := vpr.New(vpr.WithParallelism(par), vpr.WithCache(0))
+		start := time.Now()
+		results, err := e.RunBatch(ctx, specs)
+		if err != nil {
+			return 0, 0, err
+		}
+		secs := time.Since(start).Seconds()
+		var committed int64
+		for _, r := range results {
+			committed += r.Stats.Committed
+		}
+		return secs, float64(committed) / secs, nil
+	}
+	par := runtime.GOMAXPROCS(0)
+	serialSecs, serialIPS, err := timeBatch(1)
+	if err != nil {
+		return err
+	}
+	parSecs, parIPS, err := timeBatch(par)
+	if err != nil {
+		return err
+	}
+	rep.Harness = harnessTiming{
+		Specs:           len(specs),
+		InstrPerSpec:    gridInstr,
+		Parallelism:     par,
+		SerialSeconds:   serialSecs,
+		ParallelSeconds: parSecs,
+		SerialInstrsPS:  serialIPS,
+		ParallelInstrPS: parIPS,
+	}
+	fmt.Printf("harness  %d specs: serial %.2fs (%.0f instr/s), par=%d %.2fs (%.0f instr/s)\n",
+		len(specs), serialSecs, serialIPS, par, parSecs, parIPS)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

@@ -31,11 +31,15 @@ type Conventional struct {
 	pool     *SharedPool
 	mapTable [2][]int  // logical -> physical
 	ready    [2][]bool // physical register holds a valid value
-	entries  map[int64]*convEntry
-	order    []int64 // in-flight instructions in program order
+	// entries holds the in-flight instructions in program order: renamed
+	// at the back, committed from the front, squashed from the back.
+	// Instruction numbers in the window are consecutive, so lookup by
+	// inum is an offset from the front.
+	entries ring[convEntry]
 
-	safeBound    int64 // instructions <= safeBound cannot be squashed
-	earlyPending []*convEntry
+	safeBound    int64   // instructions <= safeBound cannot be squashed
+	earlyPending []int64 // inums with a pending early release
+	sink         WakeupSink
 
 	// Register-lifetime accounting (§3.1 pressure metric, in vivo).
 	now         int64
@@ -69,7 +73,7 @@ func NewConventionalShared(p Params, pool *SharedPool) *Conventional {
 	c := &Conventional{
 		params:    p,
 		pool:      pool,
-		entries:   make(map[int64]*convEntry),
+		entries:   newRing[convEntry](windowHint),
 		safeBound: -1,
 	}
 	arch := pool.attach(p.LogicalRegs, 0, 0, false)
@@ -87,10 +91,14 @@ func NewConventionalShared(p Params, pool *SharedPool) *Conventional {
 
 // Rename implements Renamer.
 func (c *Conventional) Rename(inum int64, in isa.Inst) (Renamed, bool) {
-	if n := len(c.order); n > 0 && inum <= c.order[n-1] {
-		panic(fmt.Sprintf("core: rename out of order (%d after %d)", inum, c.order[n-1]))
+	if n := c.entries.len(); n > 0 && inum <= c.entries.at(n-1).inum {
+		panic(fmt.Sprintf("core: rename out of order (%d after %d)", inum, c.entries.at(n-1).inum))
 	}
-	e := &convEntry{inum: inum, newP: -1, prevP: -1, srcP: [2]int{-1, -1}}
+	if in.HasDst() && c.pool.free[classIdx(in.Dst.Class)].empty() {
+		c.RenameStalls++
+		return Renamed{}, false
+	}
+	e := c.entries.pushBack(convEntry{inum: inum, newP: -1, prevP: -1, srcP: [2]int{-1, -1}})
 
 	var out Renamed
 	out.Src1 = c.renameSrc(in.Src1, e, 0)
@@ -98,10 +106,6 @@ func (c *Conventional) Rename(inum int64, in isa.Inst) (Renamed, bool) {
 
 	if in.HasDst() {
 		f := classIdx(in.Dst.Class)
-		if c.pool.free[f].empty() {
-			c.RenameStalls++
-			return Renamed{}, false
-		}
 		p := c.pool.free[f].pop()
 		c.allocCycle[f][p] = c.now
 		e.hasDst = true
@@ -113,9 +117,6 @@ func (c *Conventional) Rename(inum int64, in isa.Inst) (Renamed, bool) {
 		c.ready[f][p] = false
 		out.Dst = DstOp{Present: true, Class: in.Dst.Class, Tag: p}
 	}
-
-	c.entries[inum] = e
-	c.order = append(c.order, inum)
 	return out, true
 }
 
@@ -149,7 +150,7 @@ func (c *Conventional) Complete(inum int64) (int, bool) {
 	}
 	c.ready[e.class][e.newP] = true
 	if c.params.EarlyRelease && e.prevP >= 0 {
-		c.earlyPending = append(c.earlyPending, e)
+		c.earlyPending = append(c.earlyPending, inum)
 	}
 	return e.newP, true
 }
@@ -161,6 +162,12 @@ func (c *Conventional) ReadPhys(class isa.RegClass, tag int) int { return tag }
 func (c *Conventional) LookupReady(class isa.RegClass, tag int) bool {
 	return c.ready[classIdx(class)][tag]
 }
+
+// TagSpace implements Renamer: wakeup tags are physical register numbers.
+func (c *Conventional) TagSpace(class isa.RegClass) int { return c.pool.PhysRegs() }
+
+// SetWakeupSink implements Renamer.
+func (c *Conventional) SetWakeupSink(s WakeupSink) { c.sink = s }
 
 // NoteRead implements Renamer: record which of the instruction's operands
 // have been consumed, so the early-release ablation can retire pending
@@ -181,43 +188,45 @@ func (c *Conventional) NoteRead(inum int64, first, second bool) {
 
 // Commit implements Renamer: free the displaced mapping.
 func (c *Conventional) Commit(inum int64) {
-	e := c.mustEntry(inum, "commit")
-	if len(c.order) == 0 || c.order[0] != inum {
+	if c.entries.len() == 0 || c.entries.at(0).inum != inum {
 		panic(fmt.Sprintf("core: commit out of order (%d is not the oldest)", inum))
 	}
+	e := c.entries.at(0)
 	if e.hasDst {
 		if !e.complete {
 			panic(fmt.Sprintf("core: committing incomplete instruction %d", inum))
 		}
 		if e.prevP >= 0 && !e.prevFreed {
-			c.pool.free[e.class].push(e.prevP)
+			c.pool.release(e.class, e.prevP)
 			c.noteFreed(e.class, e.prevP)
-			e.prevFreed = true // a stale earlyPending pointer must not free it again
+			e.prevFreed = true // a stale earlyPending entry must not free it again
 		}
 	}
-	c.order = c.order[1:]
-	delete(c.entries, inum)
+	c.entries.popFront()
 }
 
 // Squash implements Renamer: undo the youngest rename.
 func (c *Conventional) Squash(inum int64) {
-	e := c.mustEntry(inum, "squash")
-	if n := len(c.order); n == 0 || c.order[n-1] != inum {
+	n := c.entries.len()
+	if n == 0 || c.entries.at(n-1).inum != inum {
 		panic(fmt.Sprintf("core: squash out of order (%d is not the youngest)", inum))
 	}
+	e := c.entries.at(n - 1)
 	if e.hasDst {
 		if c.mapTable[e.class][e.logical] != e.newP {
 			panic("core: map table corrupt during recovery")
 		}
 		c.mapTable[e.class][e.logical] = e.prevP
-		c.pool.free[e.class].push(e.newP)
+		c.pool.release(e.class, e.newP)
 		c.noteFreed(e.class, e.newP)
 		if e.prevFreed {
 			panic("core: squashing an instruction whose previous mapping was early-released")
 		}
+		if c.sink != nil {
+			c.sink.TagSquashed(classOf(e.class), e.newP)
+		}
 	}
-	delete(c.entries, inum)
-	c.order = c.order[:len(c.order)-1]
+	c.entries.popBack()
 }
 
 // Tick implements Renamer: advance the clock and the no-squash bound, and
@@ -231,14 +240,15 @@ func (c *Conventional) Tick(now, safe int64) {
 		return
 	}
 	kept := c.earlyPending[:0]
-	for _, e := range c.earlyPending {
-		if _, live := c.entries[e.inum]; !live {
+	for _, inum := range c.earlyPending {
+		e := c.entry(inum)
+		if e == nil {
 			continue // committed: prevP was freed on the normal path
 		}
 		if c.tryEarlyRelease(e) {
 			continue
 		}
-		kept = append(kept, e)
+		kept = append(kept, inum)
 	}
 	c.earlyPending = kept
 }
@@ -254,11 +264,12 @@ func (c *Conventional) tryEarlyRelease(e *convEntry) bool {
 		return false
 	}
 	// Any live older instruction naming prevP as a source that has not
-	// yet read it blocks the release. The entry map is small (≤ window),
-	// so a scan is fine.
-	for _, other := range c.entries {
+	// yet read it blocks the release. The window is small (≤ ROB), so a
+	// scan is fine.
+	for i := 0; i < c.entries.len(); i++ {
+		other := c.entries.at(i)
 		if other.inum >= e.inum {
-			continue
+			break
 		}
 		for s := 0; s < 2; s++ {
 			if other.srcP[s] == e.prevP && other.srcClass[s] == e.class && !other.srcRead[s] {
@@ -267,7 +278,7 @@ func (c *Conventional) tryEarlyRelease(e *convEntry) bool {
 		}
 	}
 	e.prevFreed = true
-	c.pool.free[e.class].push(e.prevP)
+	c.pool.release(e.class, e.prevP)
 	c.noteFreed(e.class, e.prevP)
 	c.EarlyReleases++
 	return true
@@ -297,7 +308,8 @@ func (c *Conventional) FreeCount(class isa.RegClass) int {
 // current mappings plus displaced-but-recoverable previous mappings.
 func (c *Conventional) HeldRegisters(f int) []int {
 	held := append([]int(nil), c.mapTable[f]...)
-	for _, e := range c.entries {
+	for i := 0; i < c.entries.len(); i++ {
+		e := c.entries.at(i)
 		if e.hasDst && e.class == f && e.prevP >= 0 && !e.prevFreed {
 			held = append(held, e.prevP)
 		}
@@ -328,9 +340,18 @@ func (c *Conventional) CheckInvariants() error {
 	return nil
 }
 
+// key implements the ring lookup constraint.
+func (e *convEntry) key() int64 { return e.inum }
+
+// entry returns the in-flight entry for inum, or nil if it is not in the
+// window.
+func (c *Conventional) entry(inum int64) *convEntry {
+	return lookup[convEntry](&c.entries, inum)
+}
+
 func (c *Conventional) mustEntry(inum int64, op string) *convEntry {
-	e, ok := c.entries[inum]
-	if !ok {
+	e := c.entry(inum)
+	if e == nil {
 		panic(fmt.Sprintf("core: %s of unknown instruction %d", op, inum))
 	}
 	return e

@@ -136,6 +136,19 @@ type Renamer interface {
 	// (used when re-dispatching after squashes).
 	LookupReady(class isa.RegClass, tag int) bool
 
+	// TagSpace returns the size of the wakeup-tag namespace for the
+	// class: physical registers for the conventional scheme, VP registers
+	// for the virtual-physical schemes. The pipeline's event-indexed
+	// scheduler sizes its per-tag wakeup waiter lists with it.
+	TagSpace(class isa.RegClass) int
+
+	// SetWakeupSink registers the scheduler's notification sink. The
+	// renamer must call TagSquashed whenever a destination wakeup tag is
+	// reclaimed during recovery, so the scheduler can drop waiters
+	// indexed under the tag before the tag is reused by a later rename.
+	// A nil sink disables notifications.
+	SetWakeupSink(s WakeupSink)
+
 	// Commit retires the oldest renamed instruction.
 	Commit(inum int64)
 
@@ -174,6 +187,23 @@ type Renamer interface {
 	CheckInvariants() error
 }
 
+// WakeupSink receives the renamer-side notifications the pipeline's
+// event-indexed scheduler needs to keep its wakeup index consistent:
+// recovery reclaims wakeup tags (squash undoes renames newest-first) and
+// the tag numbers are recycled by later renames, so any waiters still
+// filed under a reclaimed tag must be invalidated before the reuse. The
+// complementary pool-side notification is SharedPool.SetFreeListener.
+type WakeupSink interface {
+	// TagSquashed reports that the destination tag of a squashed
+	// instruction returned to the renamer's free pool.
+	TagSquashed(class isa.RegClass, tag int)
+}
+
+// windowHint is the initial per-context capacity of renamer bookkeeping
+// rings; they grow on demand, so this only tunes the first allocation
+// (the paper's window is 128 instructions).
+const windowHint = 256
+
 // New builds a renamer for the scheme.
 func New(s Scheme, p Params) Renamer {
 	switch s {
@@ -186,6 +216,14 @@ func New(s Scheme, p Params) Renamer {
 	default:
 		panic("core: unknown scheme")
 	}
+}
+
+// classOf is the inverse of classIdx.
+func classOf(f int) isa.RegClass {
+	if f == 0 {
+		return isa.RegInt
+	}
+	return isa.RegFP
 }
 
 // classIdx maps a register class to an internal file index.

@@ -22,6 +22,12 @@ type SharedPool struct {
 	reserve  [2]int // Σ over VP members of (NRR − Used)
 	members  int
 	claimed  int // registers handed out for architectural state at attach
+
+	// onFree, when set, observes every register returned to the pool.
+	// The pipeline's scheduler uses it for shared-file diagnostics: a
+	// free event is the moment allocation-blocked instructions of every
+	// member context (SMT contention) can make progress again.
+	onFree func(classIdx int)
 }
 
 // NewSharedPool builds a pool with physRegs registers per class file.
@@ -41,6 +47,20 @@ func (p *SharedPool) PhysRegs() int { return p.physRegs }
 
 // FreeCount returns the free registers in the class file.
 func (p *SharedPool) FreeCount(f int) int { return p.free[f].len() }
+
+// SetFreeListener registers fn to be called every time a register returns
+// to the pool (commit, squash or early release, from any member context).
+// A nil fn disables the notification.
+func (p *SharedPool) SetFreeListener(fn func(classIdx int)) { p.onFree = fn }
+
+// release returns one register to the class's free pool and notifies the
+// listener. All renamer frees go through here.
+func (p *SharedPool) release(f, reg int) {
+	p.free[f].push(reg)
+	if p.onFree != nil {
+		p.onFree(f)
+	}
+}
 
 // attach claims the architectural registers for one new context and, for
 // VP members, registers its reservation in the aggregate.

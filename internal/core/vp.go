@@ -61,10 +61,14 @@ type VP struct {
 	vpReady [2][]bool
 	vpFree  [2]*freeList
 	nrr     [2]int
-	pending [2][]int64 // in-flight dest instructions, program order (the paper's PRR/Reg counters)
-	used    [2]int     // allocated registers among the NRR oldest (the paper's Used counters)
-	entries map[int64]*vpEntry
-	order   []int64 // all in-flight instructions in program order
+	pending [2]ring[int64] // in-flight dest instructions, program order (the paper's PRR/Reg counters)
+	used    [2]int         // allocated registers among the NRR oldest (the paper's Used counters)
+	// entries holds the in-flight instructions in program order (renamed
+	// at the back, committed from the front, squashed from the back);
+	// instruction numbers in the window are consecutive, so lookup by
+	// inum is an offset from the front.
+	entries ring[vpEntry]
+	sink    WakeupSink
 
 	// Register-lifetime accounting (§3.1 pressure metric, in vivo).
 	now         int64
@@ -109,10 +113,11 @@ func NewVPShared(p Params, policy AllocPolicy, pool *SharedPool) *VP {
 		policy:  policy,
 		pool:    pool,
 		nrr:     [2]int{p.NRRInt, p.NRRFP},
-		entries: make(map[int64]*vpEntry),
+		entries: newRing[vpEntry](windowHint),
 	}
 	arch := pool.attach(p.LogicalRegs, p.NRRInt, p.NRRFP, true)
 	for f := 0; f < 2; f++ {
+		v.pending[f] = newRing[int64](windowHint)
 		v.allocCycle[f] = make([]int64, pool.PhysRegs())
 		v.gmt[f] = make([]gmtEntry, p.LogicalRegs)
 		v.pmt[f] = make([]int, p.VPRegs)
@@ -136,10 +141,10 @@ func (v *VP) Policy() AllocPolicy { return v.policy }
 // Rename implements Renamer. The VP scheme never stalls here: the VP pool
 // is sized (logical + window) so a tag is always available.
 func (v *VP) Rename(inum int64, in isa.Inst) (Renamed, bool) {
-	if n := len(v.order); n > 0 && inum <= v.order[n-1] {
-		panic(fmt.Sprintf("core: rename out of order (%d after %d)", inum, v.order[n-1]))
+	if n := v.entries.len(); n > 0 && inum <= v.entries.at(n-1).inum {
+		panic(fmt.Sprintf("core: rename out of order (%d after %d)", inum, v.entries.at(n-1).inum))
 	}
-	e := &vpEntry{inum: inum, p: -1, prevVP: -1}
+	e := v.entries.pushBack(vpEntry{inum: inum, p: -1, prevVP: -1})
 
 	var out Renamed
 	out.Src1 = v.renameSrc(in.Src1)
@@ -161,12 +166,9 @@ func (v *VP) Rename(inum int64, in isa.Inst) (Renamed, bool) {
 		v.gmt[f][in.Dst.Index] = gmtEntry{vp: vp, p: -1, valid: false}
 		v.pmt[f][vp] = -1
 		v.vpReady[f][vp] = false
-		v.pending[f] = append(v.pending[f], inum)
+		v.pending[f].pushBack(inum)
 		out.Dst = DstOp{Present: true, Class: in.Dst.Class, Tag: vp}
 	}
-
-	v.entries[inum] = e
-	v.order = append(v.order, inum)
 	return out, true
 }
 
@@ -188,12 +190,12 @@ func (v *VP) renameSrc(r isa.Reg) SrcOp {
 // uncommitted instructions with a destination in its class — the set the
 // PRRint/PRRfp pointers delimit in the paper.
 func (v *VP) protected(e *vpEntry) bool {
-	q := v.pending[e.class]
+	q := &v.pending[e.class]
 	nrr := v.nrr[e.class]
-	if len(q) <= nrr {
+	if q.len() <= nrr {
 		return true
 	}
-	return e.inum <= q[nrr-1]
+	return e.inum <= *q.at(nrr - 1)
 }
 
 // mayAllocate applies §3.3: reserved instructions always may; others only
@@ -292,6 +294,12 @@ func (v *VP) LookupReady(class isa.RegClass, tag int) bool {
 	return v.vpReady[classIdx(class)][tag]
 }
 
+// TagSpace implements Renamer: wakeup tags are VP register numbers.
+func (v *VP) TagSpace(class isa.RegClass) int { return v.params.VPRegs }
+
+// SetWakeupSink implements Renamer.
+func (v *VP) SetWakeupSink(s WakeupSink) { v.sink = s }
+
 // NoteRead implements Renamer (no-op: the VP scheme frees on commit only).
 func (v *VP) NoteRead(int64, bool, bool) {}
 
@@ -305,10 +313,10 @@ func (v *VP) PressureStats() (int64, int64) { return v.lifetimeSum, v.freed }
 // register reachable through it (paper §3.2.2), then advance the PRR
 // machinery.
 func (v *VP) Commit(inum int64) {
-	e := v.mustEntry(inum, "commit")
-	if len(v.order) == 0 || v.order[0] != inum {
+	if v.entries.len() == 0 || v.entries.at(0).inum != inum {
 		panic(fmt.Sprintf("core: commit out of order (%d is not the oldest)", inum))
 	}
+	e := v.entries.at(0)
 	if e.hasDst {
 		if !e.ready || e.p < 0 {
 			panic(fmt.Sprintf("core: committing instruction %d without its result register", inum))
@@ -321,38 +329,38 @@ func (v *VP) Commit(inum int64) {
 		v.pmt[f][e.prevVP] = -1
 		v.vpReady[f][e.prevVP] = false
 		v.vpFree[f].push(e.prevVP)
-		v.pool.free[f].push(prevP)
+		v.pool.release(f, prevP)
 		v.lifetimeSum += v.now - v.allocCycle[f][prevP]
 		v.freed++
 
 		// PRR/Used update: the committing instruction is the oldest in
 		// the pending deque and, having completed, held a register.
-		q := v.pending[f]
-		if len(q) == 0 || q[0] != inum {
+		q := &v.pending[f]
+		if q.len() == 0 || *q.at(0) != inum {
 			panic("core: commit does not match pending order")
 		}
-		v.pending[f] = q[1:]
+		q.popFront()
 		v.setUsed(f, v.used[f]-1) // the departing instruction was protected and allocated
 		// The instruction crossing the PRR pointer becomes protected.
-		if len(v.pending[f]) >= v.nrr[f] {
-			joining := v.entries[v.pending[f][v.nrr[f]-1]]
+		if q.len() >= v.nrr[f] {
+			joining := v.mustEntry(*q.at(v.nrr[f] - 1), "prr-join")
 			if joining.p >= 0 {
 				v.setUsed(f, v.used[f]+1)
 			}
 		}
 	}
-	v.order = v.order[1:]
-	delete(v.entries, inum)
+	v.entries.popFront()
 }
 
 // Squash implements Renamer: newest-first undo per §3.2.2 — restore the
 // GMT from the previous VP mapping and return both registers to their
 // pools.
 func (v *VP) Squash(inum int64) {
-	e := v.mustEntry(inum, "squash")
-	if n := len(v.order); n == 0 || v.order[n-1] != inum {
+	n := v.entries.len()
+	if n == 0 || v.entries.at(n-1).inum != inum {
 		panic(fmt.Sprintf("core: squash out of order (%d is not the youngest)", inum))
 	}
+	e := v.entries.at(n - 1)
 	if e.hasDst {
 		f := e.class
 		if v.gmt[f][e.logical].vp != e.vp {
@@ -362,7 +370,7 @@ func (v *VP) Squash(inum int64) {
 		// Return the allocated physical register, if any.
 		if e.p >= 0 {
 			v.pmt[f][e.vp] = -1
-			v.pool.free[f].push(e.p)
+			v.pool.release(f, e.p)
 			v.lifetimeSum += v.now - v.allocCycle[f][e.p]
 			v.freed++
 			if wasProtected {
@@ -371,23 +379,25 @@ func (v *VP) Squash(inum int64) {
 		}
 		v.vpReady[f][e.vp] = false
 		v.vpFree[f].push(e.vp)
+		if v.sink != nil {
+			v.sink.TagSquashed(classOf(f), e.vp)
+		}
 		// Restore the previous mapping, with its physical register if
 		// one is still attached (PMT lookup, as in the paper).
 		prevP := v.pmt[f][e.prevVP]
 		v.gmt[f][e.logical] = gmtEntry{vp: e.prevVP, p: prevP, valid: prevP >= 0}
 
 		// Remove from the pending deque (it must be the newest).
-		q := v.pending[f]
-		if len(q) == 0 || q[len(q)-1] != inum {
+		q := &v.pending[f]
+		if q.len() == 0 || *q.at(q.len() - 1) != inum {
 			panic("core: squash does not match pending order")
 		}
-		v.pending[f] = q[:len(q)-1]
+		q.popBack()
 		// If the deque shrank to NRR or below, the formerly
 		// (NRR+1)-th... nothing joins the protected set on squash; the
 		// set only loses this member, handled above.
 	}
-	delete(v.entries, inum)
-	v.order = v.order[:len(v.order)-1]
+	v.entries.popBack()
 }
 
 // InUse implements Renamer: pool-wide allocated registers (all contexts).
@@ -445,7 +455,8 @@ func (v *VP) CheckInvariants() error {
 		for l := 0; l < v.params.LogicalRegs; l++ {
 			seenVP[v.gmt[f][l].vp]++
 		}
-		for _, e := range v.entries {
+		for i := 0; i < v.entries.len(); i++ {
+			e := v.entries.at(i)
 			if e.hasDst && e.class == f && e.prevVP >= 0 {
 				seenVP[e.prevVP]++
 			}
@@ -456,14 +467,15 @@ func (v *VP) CheckInvariants() error {
 			}
 		}
 		// Deque sortedness and Used recount.
-		q := v.pending[f]
+		q := &v.pending[f]
 		used := 0
-		for i, inum := range q {
-			if i > 0 && q[i-1] >= inum {
+		for i := 0; i < q.len(); i++ {
+			inum := *q.at(i)
+			if i > 0 && *q.at(i - 1) >= inum {
 				return fmt.Errorf("vp: file %d pending deque not sorted at %d", f, i)
 			}
-			e, ok := v.entries[inum]
-			if !ok {
+			e := v.entry(inum)
+			if e == nil {
 				return fmt.Errorf("vp: file %d pending instruction %d missing", f, inum)
 			}
 			if i < v.nrr[f] && e.p >= 0 {
@@ -477,9 +489,18 @@ func (v *VP) CheckInvariants() error {
 	return nil
 }
 
+// key implements the ring lookup constraint.
+func (e *vpEntry) key() int64 { return e.inum }
+
+// entry returns the in-flight entry for inum, or nil if it is not in the
+// window.
+func (v *VP) entry(inum int64) *vpEntry {
+	return lookup[vpEntry](&v.entries, inum)
+}
+
 func (v *VP) mustEntry(inum int64, op string) *vpEntry {
-	e, ok := v.entries[inum]
-	if !ok {
+	e := v.entry(inum)
+	if e == nil {
 		panic(fmt.Sprintf("core: %s of unknown instruction %d", op, inum))
 	}
 	return e

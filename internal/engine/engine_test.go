@@ -15,6 +15,18 @@ import (
 
 const testInstr = 3_000
 
+// arch strips the host-throughput fields (wall-clock dependent, so they
+// legitimately differ between runs) before result comparisons.
+func arch(r sim.Result) sim.Result {
+	r.Stats = r.Stats.Arch()
+	return r
+}
+
+func archSMT(r sim.SMTResult) sim.SMTResult {
+	r.Stats = r.Stats.Arch()
+	return r
+}
+
 // spec builds a small point: the named workload under the given NRR.
 func spec(workload string, nrr int) sim.Spec {
 	cfg := pipeline.DefaultConfig()
@@ -51,7 +63,7 @@ func TestRunBatchDeterministic(t *testing.T) {
 		t.Fatalf("result lengths: serial %d, parallel %d, want %d", len(serial), len(parallel), len(specs))
 	}
 	for i := range serial {
-		if !reflect.DeepEqual(serial[i], parallel[i]) {
+		if !reflect.DeepEqual(arch(serial[i]), arch(parallel[i])) {
 			t.Errorf("spec %d (%s): serial and parallel results differ:\nserial:   %+v\nparallel: %+v",
 				i, specs[i].Workload, serial[i], parallel[i])
 		}
@@ -214,7 +226,7 @@ func TestCustomGeneratorCaching(t *testing.T) {
 	if n := sims.Load(); n != 2 {
 		t.Errorf("anonymous generator runs simulated %d times, want 2 (no caching)", n)
 	}
-	if anon1.Stats != anon2.Stats {
+	if anon1.Stats.Arch() != anon2.Stats.Arch() {
 		t.Error("identical generators should still produce identical stats")
 	}
 
@@ -296,8 +308,10 @@ func TestSMTBatchDeterministicAndCached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Errorf("SMT results differ across parallelism:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	for i := range serial {
+		if !reflect.DeepEqual(archSMT(serial[i]), archSMT(parallel[i])) {
+			t.Errorf("SMT results differ across parallelism:\nserial:   %+v\nparallel: %+v", serial, parallel)
+		}
 	}
 	if _, err := eng.RunSMTBatch(context.Background(), specs); err != nil {
 		t.Fatal(err)

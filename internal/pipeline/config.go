@@ -84,6 +84,12 @@ type Config struct {
 	// many consecutive cycles. The VP scheme's NRR reservation exists
 	// precisely to make this impossible.
 	DeadlockCycles int64
+
+	// scanKernel selects the pre-refactor full-window-scan stage
+	// implementations (scanref.go) instead of the event-indexed
+	// scheduling kernel. Unexported: only this package's differential
+	// tests run the reference kernel; both kernels are cycle-identical.
+	scanKernel bool
 }
 
 // DefaultConfig is the paper's processor: 8-way fetch/decode/commit,

@@ -1,0 +1,69 @@
+package pipeline
+
+// dispatchStage decodes and renames fetched instructions in program order,
+// up to DecodeWidth per cycle across threads, allocating a reorder-buffer
+// entry and an instruction-queue slot for each. A conventional renamer out
+// of registers, a full ROB or a full IQ stalls the thread.
+//
+// Event kernel: dispatch is where an instruction enters the scheduling
+// index — operands that are not ready subscribe to their tag's wakeup
+// list, and instructions that are born ready go straight onto the issue
+// queue. Each dispatch starts a fresh robEntry generation, invalidating
+// any scheduler references left over from a squashed occupancy of the same
+// instruction number.
+func (s *Sim) dispatchStage(now int64) error {
+	budget := s.cfg.DecodeWidth
+	for _, th := range s.threadOrder() {
+		for budget > 0 && th.fbN > 0 {
+			if th.robCount == len(th.rob) {
+				s.stats.ROBStalls++
+				break
+			}
+			if s.iqCount == s.cfg.IQSize {
+				s.stats.IQStalls++
+				break
+			}
+			item := *th.fbFront()
+			renamed, ok := th.ren.Rename(item.rec.Seq, item.rec.Inst)
+			if !ok {
+				break // conventional scheme out of registers; retry next cycle
+			}
+			th.fbPopFront()
+
+			slot := (th.robHead + th.robCount) % len(th.rob)
+			info := item.rec.Inst.Op.Info()
+			th.rob[slot] = robEntry{
+				inum:       item.rec.Seq,
+				rec:        item.rec,
+				ren:        renamed,
+				gen:        s.nextGen(),
+				st:         stWaiting,
+				inIQ:       true,
+				src1Ready:  !renamed.Src1.Present || renamed.Src1.Zero || renamed.Src1.Ready,
+				src2Ready:  !renamed.Src2.Present || renamed.Src2.Zero || renamed.Src2.Ready,
+				completeAt: timeUnset,
+				aguDoneAt:  timeUnset,
+				isLoad:     info.IsLoad,
+				isStore:    info.IsStore,
+				valueFrom:  valueNone,
+				isBranch:   info.IsBranch,
+				isCond:     info.IsBranch && !info.IsUncond,
+				mispred:    item.mispred,
+			}
+			th.robCount++
+			s.iqCount++
+			budget--
+			if info.IsStore {
+				th.sqPush(sqEntry{inum: item.rec.Seq})
+			}
+			if !s.scan {
+				e := &th.rob[slot]
+				s.registerWaiters(th, e)
+				if e.ready() {
+					s.enqueueReady(th, e)
+				}
+			}
+		}
+	}
+	return nil
+}

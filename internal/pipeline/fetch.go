@@ -1,0 +1,51 @@
+package pipeline
+
+// fetchStage gives the whole fetch bandwidth to one thread per cycle,
+// rotating among threads that can fetch (round-robin, the classic simple
+// SMT fetch policy). With one thread this is the paper's front end.
+// Identical under both kernels.
+func (s *Sim) fetchStage(now int64) {
+	for _, th := range s.threadOrder() {
+		if th.traceEnded || th.frozen || now < th.nextFetchAt || th.fbFull() {
+			continue
+		}
+		s.fetchThread(th, now)
+		return
+	}
+}
+
+func (s *Sim) fetchThread(th *thread, now int64) {
+	for budget := s.cfg.FetchWidth; budget > 0 && !th.fbFull(); budget-- {
+		rec, ok := th.stream.At(th.fetchSeq)
+		if !ok {
+			th.traceEnded = true
+			return
+		}
+		item := fetchItem{rec: rec}
+		info := rec.Inst.Op.Info()
+		if info.IsBranch {
+			predTaken := true // unconditional and indirect: perfect target prediction
+			if !info.IsUncond {
+				predTaken = s.bht.Predict(rec.PC)
+			}
+			if predTaken != rec.Taken {
+				// Mispredicted: the branch itself is fetched, then the
+				// front end freezes until it resolves.
+				item.mispred = true
+				th.fbPush(item)
+				th.fetchSeq++
+				th.frozen = true
+				th.frozenOn = rec.Seq
+				return
+			}
+			th.fbPush(item)
+			th.fetchSeq++
+			if rec.Taken {
+				return // a taken branch ends the consecutive fetch group
+			}
+			continue
+		}
+		th.fbPush(item)
+		th.fetchSeq++
+	}
+}

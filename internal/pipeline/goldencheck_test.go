@@ -91,7 +91,10 @@ loop:   ldq  r3, 0(r2)
 		return st
 	}
 	a, b := run(), run()
-	if a != b {
+	if a.Arch() != b.Arch() {
 		t.Errorf("two identical runs differ:\n%s\n%s", a, b)
+	}
+	if a.WallSeconds <= 0 || a.CyclesPerSec <= 0 || a.InstrsPerSec <= 0 {
+		t.Errorf("throughput fields not populated: %+v", a)
 	}
 }

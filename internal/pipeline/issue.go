@@ -1,0 +1,111 @@
+package pipeline
+
+import "repro/internal/core"
+
+// issueStage selects ready instructions for execution, oldest-first per
+// thread, threads in rotation order, bounded by issue width, functional
+// units, register-file read ports and — under VP issue allocation — the
+// renamer's willingness to hand out a register (a refusal leaves the
+// instruction queued and counts an issue block, every cycle, exactly like
+// the reference scan retries it).
+//
+// Event kernel: only the ready queue is walked; an instruction enters it
+// at dispatch (operands already ready) or when the last missing operand is
+// broadcast, and leaves when it issues or is squashed.
+func (s *Sim) issueStage(now int64) error {
+	if s.scan {
+		return s.issueScan(now)
+	}
+	s.tickPools(now)
+	budget := s.cfg.IssueWidth
+	rfReads := [2]int{s.cfg.RFReadPorts, s.cfg.RFReadPorts}
+	for _, th := range s.threadOrder() {
+		q := th.readyQ
+		kept := q[:0]
+		for qi := 0; qi < len(q); qi++ {
+			ref := q[qi]
+			e := th.entryByInum(ref.inum)
+			if e == nil || e.gen != ref.gen || e.st != stWaiting || !e.ready() {
+				continue // stale reference; drop
+			}
+			if budget == 0 {
+				kept = append(kept, ref)
+				continue
+			}
+			info := e.rec.Inst.Op.Info()
+			pool := s.kindToPool[info.Kind]
+			if s.pools[pool].free == 0 {
+				kept = append(kept, ref)
+				continue
+			}
+			needReads := readPortNeeds(e)
+			if rfReads[0] < needReads[0] || rfReads[1] < needReads[1] {
+				kept = append(kept, ref)
+				continue
+			}
+			if !th.ren.AllocateAtIssue(e.inum) {
+				kept = append(kept, ref)
+				continue // VP issue allocation refused; stays in the queue
+			}
+			if err := s.readIssueOperands(th, e); err != nil {
+				return err
+			}
+			th.ren.NoteRead(e.inum, true, !e.isStore)
+
+			rfReads[0] -= needReads[0]
+			rfReads[1] -= needReads[1]
+			if info.Pipelined {
+				s.pools[pool].take(now, now+1)
+			} else {
+				s.pools[pool].take(now, now+int64(info.Latency))
+			}
+			budget--
+			e.executions++
+			s.stats.Issued++
+			e.st = stExecuting
+			e.inReadyQ = false
+			if e.isLoad || e.isStore {
+				// Effective-address unit latency, then the memory pipeline.
+				e.completeAt = timeUnset
+				e.aguDoneAt = s.aguWheel.schedule(now,
+					wevent{due: now + int64(info.Latency), inum: e.inum, tid: int32(th.id), gen: e.gen})
+			} else {
+				e.completeAt = s.compWheel.schedule(now,
+					wevent{due: now + int64(info.Latency), inum: e.inum, tid: int32(th.id), gen: e.gen})
+			}
+			if s.cfg.Scheme != core.SchemeVPWriteback {
+				s.leaveIQ(e)
+			}
+		}
+		th.readyQ = kept
+	}
+	return nil
+}
+
+// readPortNeeds counts register-file reads per class performed at issue.
+// Store data is read later (at completion) and is not charged a port — a
+// documented simplification.
+func readPortNeeds(e *robEntry) [2]int {
+	var n [2]int
+	if op := e.ren.Src1; op.Present && !op.Zero {
+		n[classIdxOf(op.Class)]++
+	}
+	if op := e.ren.Src2; op.Present && !op.Zero && !e.isStore {
+		n[classIdxOf(op.Class)]++
+	}
+	return n
+}
+
+// readIssueOperands performs the golden-model check on the operands read
+// at issue time.
+func (s *Sim) readIssueOperands(th *thread, e *robEntry) error {
+	if err := s.checkOperand(th, e, e.ren.Src1, e.rec.Src1Val); err != nil {
+		return err
+	}
+	if !e.isStore {
+		if err := s.checkOperand(th, e, e.ren.Src2, e.rec.Src2Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Scan reference kernel.
+//
+// These are the pre-refactor stage implementations: every cycle they scan
+// the whole reorder buffer for work (write-back, execute, issue) and again
+// on every result broadcast, and probe functional units with a linear scan
+// over per-unit busy-until times. They are kept as the differential oracle
+// for the event-indexed kernel: a Config with the unexported scanKernel
+// flag set (test-only, this package) runs these verbatim, and the
+// differential test asserts cycle-exact equality of statistics and commit
+// streams between the two kernels across randomized workloads, schemes and
+// SMT configurations.
+
+func (s *Sim) writebackScan(now int64) error {
+	wbPorts := [2]int{s.cfg.RFWritePorts, s.cfg.RFWritePorts}
+	for _, th := range s.threadOrder() {
+		for i := 0; i < th.robCount; i++ {
+			e := th.at(i)
+			if e.st != stExecuting {
+				continue
+			}
+			if e.isStore {
+				// A store is complete once its address has been
+				// recorded in the store queue (by the execute stage,
+				// so violation checks always run) and its data has
+				// arrived; it consumes no write port.
+				sqe := th.sqEntry(e.inum)
+				if sqe != nil && sqe.eaKnown && e.src2Ready {
+					if err := s.checkOperand(th, e, e.ren.Src2, e.rec.Src2Val); err != nil {
+						return err
+					}
+					th.ren.NoteRead(e.inum, false, true) // data operand read now
+					if _, ok := th.ren.Complete(e.inum); !ok {
+						return fmt.Errorf("pipeline: store %d refused completion", e.inum)
+					}
+					e.st = stCompleted
+					s.leaveIQ(e)
+				}
+				continue
+			}
+			if e.completeAt == timeUnset || e.completeAt > now {
+				continue
+			}
+			hasDst := e.ren.Dst.Present
+			f := 0
+			if hasDst {
+				f = classIdxOf(e.ren.Dst.Class)
+				if wbPorts[f] == 0 {
+					continue // structural: retry next cycle
+				}
+			}
+			preg, ok := th.ren.Complete(e.inum)
+			if !ok {
+				// §3.3: no register may be allocated at write-back;
+				// squash the instruction back to the queue and
+				// re-execute it.
+				e.st = stWaiting
+				e.completeAt = timeUnset
+				e.aguDoneAt = timeUnset
+				if e.isLoad {
+					e.valueFrom = valueNone
+				}
+				continue
+			}
+			if hasDst {
+				s.prf[f][preg] = e.rec.DstVal
+				wbPorts[f]--
+				s.broadcastScan(th, e.ren.Dst.Class, e.ren.Dst.Tag)
+			}
+			e.st = stCompleted
+			s.leaveIQ(e)
+			if e.isBranch {
+				s.resolveBranch(th, e, now)
+			}
+		}
+	}
+	return nil
+}
+
+// broadcastScan wakes every waiting operand of the owning thread matching
+// the completed tag by scanning the thread's reorder buffer.
+func (s *Sim) broadcastScan(th *thread, class isa.RegClass, tag int) {
+	for i := 0; i < th.robCount; i++ {
+		e := th.at(i)
+		if e.st == stCompleted {
+			continue
+		}
+		if !e.src1Ready && matches(e.ren.Src1, class, tag) {
+			e.src1Ready = true
+		}
+		if !e.src2Ready && matches(e.ren.Src2, class, tag) {
+			e.src2Ready = true
+		}
+	}
+}
+
+func (s *Sim) executeScan(now int64) error {
+	ports := s.cfg.CachePorts
+	// The post-commit store buffer gets first claim on one port (see the
+	// event kernel's executeStage for the livelock argument).
+	if s.sbN > 0 {
+		if _, ok := s.dcache.Access(now, s.sbFront(), true); ok {
+			s.sbPopFront()
+			ports--
+		}
+	}
+	for _, th := range s.threadOrder() {
+		for i := 0; i < th.robCount; i++ {
+			e := th.at(i)
+			if e.st != stExecuting || e.aguDoneAt == timeUnset || e.aguDoneAt > now {
+				continue
+			}
+			switch {
+			case e.isStore:
+				sqe := th.sqEntry(e.inum)
+				if sqe == nil {
+					return fmt.Errorf("pipeline: store %d missing from store queue", e.inum)
+				}
+				if !sqe.eaKnown {
+					sqe.ea = e.rec.EA
+					sqe.eaKnown = true
+					if s.cfg.Disambiguation == DisambSpeculative {
+						if err := s.checkViolation(th, sqe, now); err != nil {
+							return err
+						}
+					}
+				}
+			case e.isLoad && e.valueFrom == valueNone:
+				if err := s.tryLoad(th, e, now, &ports); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Post-commit stores drain through the remaining cache ports.
+	for ports > 0 && s.sbN > 0 {
+		if _, ok := s.dcache.Access(now, s.sbFront(), true); !ok {
+			break // all MSHRs busy; retry next cycle
+		}
+		s.sbPopFront()
+		ports--
+	}
+	return nil
+}
+
+func (s *Sim) issueScan(now int64) error {
+	budget := s.cfg.IssueWidth
+	rfReads := [2]int{s.cfg.RFReadPorts, s.cfg.RFReadPorts}
+	for _, th := range s.threadOrder() {
+		for i := 0; i < th.robCount && budget > 0; i++ {
+			e := th.at(i)
+			if e.st != stWaiting || !e.ready() {
+				continue
+			}
+			info := e.rec.Inst.Op.Info()
+			pool := s.kindToPool[info.Kind]
+			unit := s.freeUnitScan(pool, now)
+			if unit < 0 {
+				continue
+			}
+			needReads := readPortNeeds(e)
+			if rfReads[0] < needReads[0] || rfReads[1] < needReads[1] {
+				continue
+			}
+			if !th.ren.AllocateAtIssue(e.inum) {
+				continue // VP issue allocation refused; stays in the queue
+			}
+			if err := s.readIssueOperands(th, e); err != nil {
+				return err
+			}
+			th.ren.NoteRead(e.inum, true, !e.isStore)
+
+			rfReads[0] -= needReads[0]
+			rfReads[1] -= needReads[1]
+			if info.Pipelined {
+				s.scanPools[pool][unit] = now + 1
+			} else {
+				s.scanPools[pool][unit] = now + int64(info.Latency)
+			}
+			budget--
+			e.executions++
+			s.stats.Issued++
+			e.st = stExecuting
+			if e.isLoad || e.isStore {
+				e.aguDoneAt = now + int64(info.Latency) // effective-address unit
+				e.completeAt = timeUnset
+			} else {
+				e.completeAt = now + int64(info.Latency)
+			}
+			if s.cfg.Scheme != core.SchemeVPWriteback {
+				s.leaveIQ(e)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Sim) freeUnitScan(pool int, now int64) int {
+	for u, busyUntil := range s.scanPools[pool] {
+		if busyUntil <= now {
+			return u
+		}
+	}
+	return -1
+}

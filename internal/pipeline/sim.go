@@ -24,11 +24,26 @@
 // trace, front end, reorder buffer and map tables, share the functional
 // units, cache ports, and — crucially — the physical register files
 // through core.SharedPool.
+//
+// # Structure
+//
+// The simulator is split into one file per pipeline stage — fetch.go,
+// dispatch.go, issue.go, execute.go, writeback.go, commit.go — all methods
+// on the shared Sim kernel defined here. Scheduling is event-indexed
+// (kernel.go): instead of scanning the whole reorder buffer in every stage
+// of every cycle, the kernel keeps an explicit ready queue, per-tag wakeup
+// waiter lists updated by result broadcast, and completion/AGU event
+// wheels keyed by cycle, so each stage visits only the instructions that
+// can actually act now. scanref.go retains the original O(ROB)-scan stage
+// implementations as a differential oracle; both kernels are
+// cycle-identical by construction and by test.
 package pipeline
 
 import (
 	"context"
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -65,8 +80,16 @@ type robEntry struct {
 	rec  trace.Record
 	ren  core.Renamed
 
+	// gen distinguishes this occupancy of the ROB slot from earlier ones
+	// with the same inum (squash + re-fetch reuses instruction numbers):
+	// scheduler references — wheel events, queue entries, wakeup waiters
+	// — carry the gen they were created under and are dropped when it no
+	// longer matches.
+	gen uint32
+
 	st         state
 	inIQ       bool
+	inReadyQ   bool // queued in the scheduler's ready index
 	src1Ready  bool
 	src2Ready  bool
 	executions int
@@ -112,19 +135,34 @@ type thread struct {
 	ren    core.Renamer
 
 	fetchSeq    int64
-	fetchBuf    []fetchItem
 	frozen      bool
 	frozenOn    int64
 	nextFetchAt int64
 	traceEnded  bool
 
+	// Fetch buffer: a fixed ring (no per-cycle reslicing).
+	fbuf   []fetchItem
+	fbHead int
+	fbN    int
+
 	rob      []robEntry
 	robHead  int
 	robCount int
 	headInum int64
-	sq       []sqEntry
+
+	// Store queue: a fixed ring, ordered oldest-first. A thread can have
+	// at most ROBSize uncommitted stores.
+	sqBuf  []sqEntry
+	sqHead int
+	sqN    int
 
 	committed int64
+
+	// Event-kernel state (nil slices under the scan reference kernel).
+	readyQ  []evRef       // dispatched, operands ready, waiting to issue; inum-sorted
+	wbPend  []evRef       // execution finished or store completable; inum-sorted
+	aguPend []evRef       // post-AGU memory ops awaiting cache/forwarding; inum-sorted
+	waiters [2][][]waiter // wakeup index: per class, per tag, registered consumers
 }
 
 // at returns the thread's i-th oldest in-flight entry.
@@ -140,10 +178,47 @@ func (t *thread) entryByInum(inum int64) *robEntry {
 	return t.at(int(off))
 }
 
+// --- fetch-buffer ring -------------------------------------------------------
+
+func (t *thread) fbFull() bool  { return t.fbN == len(t.fbuf) }
+func (t *thread) fbEmpty() bool { return t.fbN == 0 }
+
+func (t *thread) fbPush(it fetchItem) {
+	t.fbuf[(t.fbHead+t.fbN)%len(t.fbuf)] = it
+	t.fbN++
+}
+
+func (t *thread) fbFront() *fetchItem { return &t.fbuf[t.fbHead] }
+
+func (t *thread) fbPopFront() {
+	t.fbHead = (t.fbHead + 1) % len(t.fbuf)
+	t.fbN--
+}
+
+func (t *thread) fbClear() { t.fbHead, t.fbN = 0, 0 }
+
+// --- store-queue ring --------------------------------------------------------
+
+func (t *thread) sqAt(i int) *sqEntry {
+	return &t.sqBuf[(t.sqHead+i)%len(t.sqBuf)]
+}
+
+func (t *thread) sqPush(e sqEntry) {
+	t.sqBuf[(t.sqHead+t.sqN)%len(t.sqBuf)] = e
+	t.sqN++
+}
+
+func (t *thread) sqPopFront() {
+	t.sqHead = (t.sqHead + 1) % len(t.sqBuf)
+	t.sqN--
+}
+
+func (t *thread) sqPopBack() { t.sqN-- }
+
 func (t *thread) sqEntry(inum int64) *sqEntry {
-	for i := range t.sq {
-		if t.sq[i].inum == inum {
-			return &t.sq[i]
+	for i := 0; i < t.sqN; i++ {
+		if e := t.sqAt(i); e.inum == inum {
+			return e
 		}
 	}
 	return nil
@@ -155,12 +230,13 @@ func (t *thread) addr(ea uint64) uint64 {
 }
 
 func (t *thread) done() bool {
-	return t.traceEnded && t.robCount == 0 && len(t.fetchBuf) == 0
+	return t.traceEnded && t.robCount == 0 && t.fbN == 0
 }
 
 // Sim is one simulated processor bound to one or more traces.
 type Sim struct {
-	cfg Config
+	cfg  Config
+	scan bool // use the scan reference kernel instead of the event kernel
 
 	threads []*thread
 	pool    *core.SharedPool
@@ -170,14 +246,43 @@ type Sim struct {
 	cycle int64
 
 	// Shared structural state.
-	iqCount         int // instruction-queue occupancy across threads
-	prf             [2][]uint64
-	committedStores []uint64
-	pools           [6][]int64 // busy-until per functional unit, per pool
-	kindToPool      [isa.NumFUKinds]int
+	iqCount int // instruction-queue occupancy across threads
+	prf     [2][]uint64
+
+	// Post-commit store buffer: a fixed ring of at most StoreBufferSize
+	// namespaced addresses.
+	sbBuf  []uint64
+	sbHead int
+	sbN    int
+
+	// Functional units. The event kernel tracks each pool as a free
+	// count plus a release wheel (kernel.go); the scan reference keeps
+	// the original busy-until array per unit.
+	pools      [6]poolState
+	scanPools  [6][]int64
+	kindToPool [isa.NumFUKinds]int
+
+	// Event wheels (event kernel only).
+	compWheel wheel // execution-complete events, keyed by cycle
+	aguWheel  wheel // effective-address-ready events, keyed by cycle
+
+	genCtr uint32
+
+	// lastRegFree records, per class, the last cycle a physical register
+	// returned to the shared pool (via core.SharedPool's free listener).
+	// Shared-pool contention (SMT) shows up in deadlock diagnostics as a
+	// stale value here.
+	lastRegFree [2]int64
 
 	rotate          int // round-robin offset, advanced every cycle
+	orderBuf        []*thread
 	lastCommitCycle int64
+
+	// onCommit, when set, observes every commit in machine order
+	// (differential tests compare commit streams across kernels).
+	onCommit func(tid int, inum int64)
+
+	wallNanos int64
 
 	stats Stats
 }
@@ -205,16 +310,22 @@ func NewSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
 	}
 	s := &Sim{
 		cfg:    cfg,
+		scan:   cfg.scanKernel,
 		pool:   core.NewSharedPool(cfg.Rename.PhysRegs),
 		bht:    bpred.New(cfg.BHTEntries),
 		dcache: cache.New(cfg.Cache),
+		sbBuf:  make([]uint64, cfg.StoreBufferSize),
 	}
+	s.lastRegFree[0], s.lastRegFree[1] = timeUnset, timeUnset
+	s.pool.SetFreeListener(func(f int) { s.lastRegFree[f] = s.cycle })
 	for i, gen := range gens {
 		th := &thread{
 			id:     i,
 			gen:    gen,
 			stream: trace.NewStream(gen, cfg.ROBSize+fetchBufSize+4*cfg.FetchWidth+64),
 			rob:    make([]robEntry, cfg.ROBSize),
+			fbuf:   make([]fetchItem, fetchBufSize),
+			sqBuf:  make([]sqEntry, cfg.ROBSize),
 		}
 		switch cfg.Scheme {
 		case core.SchemeConventional:
@@ -226,8 +337,12 @@ func NewSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
 		default:
 			return nil, fmt.Errorf("pipeline: unknown scheme %v", cfg.Scheme)
 		}
+		if !s.scan {
+			s.initThreadEv(th)
+		}
 		s.threads = append(s.threads, th)
 	}
+	s.orderBuf = make([]*thread, len(s.threads))
 	for f := 0; f < 2; f++ {
 		s.prf[f] = make([]uint64, cfg.Rename.PhysRegs)
 	}
@@ -236,7 +351,15 @@ func NewSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
 		cfg.SimpleFPUnits, cfg.FPMulUnits, cfg.FPDivUnits,
 	}
 	for i, n := range poolSizes {
-		s.pools[i] = make([]int64, n)
+		if s.scan {
+			s.scanPools[i] = make([]int64, n)
+		} else {
+			s.pools[i].free = n
+		}
+	}
+	if !s.scan {
+		s.compWheel.init(compWheelSlots)
+		s.aguWheel.init(aguWheelSlots)
 	}
 	s.kindToPool = [isa.NumFUKinds]int{
 		isa.FUIntALU:  0,
@@ -275,7 +398,8 @@ func (s *Sim) Done() bool {
 	return true
 }
 
-// Stats returns a snapshot of the statistics including cache counters.
+// Stats returns a snapshot of the statistics including cache counters and
+// host-throughput numbers.
 func (s *Sim) Stats() Stats {
 	st := s.stats
 	st.Cycles = s.cycle
@@ -297,6 +421,11 @@ func (s *Sim) Stats() Stats {
 			st.IssueBlocks += v.IssueBlocks
 		}
 	}
+	if s.wallNanos > 0 {
+		st.WallSeconds = float64(s.wallNanos) / 1e9
+		st.CyclesPerSec = float64(st.Cycles) / st.WallSeconds
+		st.InstrsPerSec = float64(st.Committed) / st.WallSeconds
+	}
 	return st
 }
 
@@ -313,20 +442,30 @@ const ctxCheckCycles = 4096
 
 // RunContext advances the simulation like Run but stops early, returning
 // ctx.Err() and the statistics accumulated so far, once ctx is cancelled.
+// Wall-clock time spent inside the run loop accumulates into the
+// throughput fields of Stats (cycles and instructions simulated per host
+// second).
 func (s *Sim) RunContext(ctx context.Context, maxCommits int64) (Stats, error) {
+	start := time.Now()
+	err := s.runLoop(ctx, maxCommits)
+	s.wallNanos += time.Since(start).Nanoseconds()
+	return s.Stats(), err
+}
+
+func (s *Sim) runLoop(ctx context.Context, maxCommits int64) error {
 	sinceCheck := 0
 	for !s.Done() && (maxCommits <= 0 || s.stats.Committed < maxCommits) {
 		if sinceCheck++; sinceCheck >= ctxCheckCycles {
 			sinceCheck = 0
 			if err := ctx.Err(); err != nil {
-				return s.Stats(), err
+				return err
 			}
 		}
 		if err := s.Step(); err != nil {
-			return s.Stats(), err
+			return err
 		}
 	}
-	return s.Stats(), nil
+	return nil
 }
 
 // Step simulates one cycle. Stages run in reverse pipeline order so that
@@ -336,6 +475,7 @@ func (s *Sim) RunContext(ctx context.Context, maxCommits int64) (Stats, error) {
 // thread every cycle for fairness.
 func (s *Sim) Step() error {
 	now := s.cycle
+	s.rotateOrder()
 	if err := s.commitStage(now); err != nil {
 		return err
 	}
@@ -358,6 +498,11 @@ func (s *Sim) Step() error {
 			if err := th.ren.CheckInvariants(); err != nil {
 				return fmt.Errorf("cycle %d thread %d: %w", now, th.id, err)
 			}
+			if !s.scan {
+				if err := s.checkEvInvariants(th); err != nil {
+					return fmt.Errorf("cycle %d thread %d: %w", now, th.id, err)
+				}
+			}
 		}
 	}
 	if now-s.lastCommitCycle > s.cfg.DeadlockCycles {
@@ -370,575 +515,42 @@ func (s *Sim) Step() error {
 }
 
 func (s *Sim) describeHeads() string {
-	out := ""
+	var b strings.Builder
 	for _, th := range s.threads {
-		if out != "" {
-			out += "; "
+		if b.Len() > 0 {
+			b.WriteString("; ")
 		}
 		if th.robCount == 0 {
-			out += fmt.Sprintf("t%d empty", th.id)
+			fmt.Fprintf(&b, "t%d empty", th.id)
 			continue
 		}
 		e := th.at(0)
-		out += fmt.Sprintf("t%d head inum %d %s state %d ready %v/%v",
+		fmt.Fprintf(&b, "t%d head inum %d %s state %d ready %v/%v",
 			th.id, e.inum, e.rec.Inst, e.st, e.src1Ready, e.src2Ready)
 	}
-	return out
+	fmt.Fprintf(&b, "; last reg free int/fp cycle %d/%d", s.lastRegFree[0], s.lastRegFree[1])
+	return b.String()
 }
 
-// order returns the threads starting at the current rotation offset.
-func (s *Sim) order() []*thread {
+// rotateOrder refreshes the round-robin thread ordering for this cycle.
+// The buffer is reused: order() allocated a fresh slice at every call site
+// of every cycle before the scheduling-kernel refactor.
+func (s *Sim) rotateOrder() {
 	n := len(s.threads)
 	if n == 1 {
-		return s.threads
-	}
-	out := make([]*thread, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, s.threads[(s.rotate+i)%n])
-	}
-	return out
-}
-
-// --- commit ------------------------------------------------------------------
-
-func (s *Sim) commitStage(now int64) error {
-	budget := s.cfg.CommitWidth
-	for _, th := range s.order() {
-		for budget > 0 && th.robCount > 0 {
-			e := th.at(0)
-			if e.st != stCompleted {
-				break
-			}
-			if e.isStore {
-				if len(s.committedStores) >= s.cfg.StoreBufferSize {
-					s.stats.CommitSBStalls++
-					break
-				}
-				s.committedStores = append(s.committedStores, th.addr(e.rec.EA))
-				if len(th.sq) == 0 || th.sq[0].inum != e.inum {
-					return fmt.Errorf("pipeline: store queue out of sync at commit of %d", e.inum)
-				}
-				th.sq = th.sq[1:]
-				s.stats.Stores++
-			}
-			if e.isLoad {
-				s.stats.Loads++
-			}
-			th.ren.Commit(e.inum)
-			s.stats.Committed++
-			th.committed++
-			s.lastCommitCycle = now
-			th.robHead = (th.robHead + 1) % len(th.rob)
-			th.robCount--
-			th.headInum++
-			budget--
-		}
-		th.stream.Retire(th.headInum)
-		th.ren.Tick(now, s.safeBound(th))
-	}
-	return nil
-}
-
-// safeBound returns the newest instruction number in the thread that can
-// no longer be squashed. The only squash source in this trace-driven model
-// is a memory-order violation, triggered by a store whose address was
-// still unknown.
-func (s *Sim) safeBound(th *thread) int64 {
-	tail := th.headInum + int64(th.robCount) - 1
-	if s.cfg.Disambiguation == DisambConservative {
-		return tail
-	}
-	for i := range th.sq {
-		if !th.sq[i].eaKnown {
-			return th.sq[i].inum - 1
-		}
-	}
-	return tail
-}
-
-// --- write-back / completion ---------------------------------------------------
-
-func (s *Sim) writebackStage(now int64) error {
-	wbPorts := [2]int{s.cfg.RFWritePorts, s.cfg.RFWritePorts}
-	for _, th := range s.order() {
-		for i := 0; i < th.robCount; i++ {
-			e := th.at(i)
-			if e.st != stExecuting {
-				continue
-			}
-			if e.isStore {
-				// A store is complete once its address has been
-				// recorded in the store queue (by the execute stage,
-				// so violation checks always run) and its data has
-				// arrived; it consumes no write port.
-				sqe := th.sqEntry(e.inum)
-				if sqe != nil && sqe.eaKnown && e.src2Ready {
-					if err := s.checkOperand(th, e, e.ren.Src2, e.rec.Src2Val); err != nil {
-						return err
-					}
-					th.ren.NoteRead(e.inum, false, true) // data operand read now
-					if _, ok := th.ren.Complete(e.inum); !ok {
-						return fmt.Errorf("pipeline: store %d refused completion", e.inum)
-					}
-					e.st = stCompleted
-					s.leaveIQ(e)
-				}
-				continue
-			}
-			if e.completeAt == timeUnset || e.completeAt > now {
-				continue
-			}
-			hasDst := e.ren.Dst.Present
-			f := 0
-			if hasDst {
-				f = classIdxOf(e.ren.Dst.Class)
-				if wbPorts[f] == 0 {
-					continue // structural: retry next cycle
-				}
-			}
-			preg, ok := th.ren.Complete(e.inum)
-			if !ok {
-				// §3.3: no register may be allocated at write-back;
-				// squash the instruction back to the queue and
-				// re-execute it.
-				e.st = stWaiting
-				e.completeAt = timeUnset
-				e.aguDoneAt = timeUnset
-				if e.isLoad {
-					e.valueFrom = valueNone
-				}
-				continue
-			}
-			if hasDst {
-				s.prf[f][preg] = e.rec.DstVal
-				wbPorts[f]--
-				s.broadcast(th, e.ren.Dst.Class, e.ren.Dst.Tag)
-			}
-			e.st = stCompleted
-			s.leaveIQ(e)
-			if e.isBranch {
-				s.resolveBranch(th, e, now)
-			}
-		}
-	}
-	return nil
-}
-
-// leaveIQ releases the instruction-queue slot. Under write-back allocation
-// an instruction holds its slot until it completes successfully (it may
-// need to re-execute); the other schemes free it at issue.
-func (s *Sim) leaveIQ(e *robEntry) {
-	if e.inIQ {
-		e.inIQ = false
-		s.iqCount--
-	}
-}
-
-func (s *Sim) resolveBranch(th *thread, e *robEntry, now int64) {
-	if e.isCond {
-		s.bht.Update(e.rec.PC, e.rec.Taken)
-		s.stats.CondBranches++
-		if e.mispred {
-			s.stats.Mispredicts++
-		}
-	}
-	if e.mispred && th.frozen && th.frozenOn == e.inum {
-		th.frozen = false
-		th.nextFetchAt = now + int64(s.cfg.RecoveryPenalty)
-	}
-}
-
-// broadcast wakes every waiting operand of the owning thread matching the
-// completed tag (tags are per-thread namespaces).
-func (s *Sim) broadcast(th *thread, class isa.RegClass, tag int) {
-	for i := 0; i < th.robCount; i++ {
-		e := th.at(i)
-		if e.st == stCompleted {
-			continue
-		}
-		if !e.src1Ready && matches(e.ren.Src1, class, tag) {
-			e.src1Ready = true
-		}
-		if !e.src2Ready && matches(e.ren.Src2, class, tag) {
-			e.src2Ready = true
-		}
-	}
-}
-
-func matches(op core.SrcOp, class isa.RegClass, tag int) bool {
-	return op.Present && !op.Zero && op.Class == class && op.Tag == tag
-}
-
-func classIdxOf(c isa.RegClass) int {
-	if c == isa.RegInt {
-		return 0
-	}
-	return 1
-}
-
-// --- execute (memory pipeline) -------------------------------------------------
-
-func (s *Sim) executeStage(now int64) error {
-	ports := s.cfg.CachePorts
-	// The post-commit store buffer gets first claim on one port. Without
-	// this guarantee, re-executing loads (VP write-back allocation) can
-	// monopolize the ports every cycle, the buffer never drains, commit
-	// stalls, no register is ever freed, and the machine livelocks —
-	// the §3.3 progress argument needs committed stores to retire.
-	if len(s.committedStores) > 0 {
-		if _, ok := s.dcache.Access(now, s.committedStores[0], true); ok {
-			s.committedStores = s.committedStores[1:]
-			ports--
-		}
-	}
-	for _, th := range s.order() {
-		for i := 0; i < th.robCount; i++ {
-			e := th.at(i)
-			if e.st != stExecuting || e.aguDoneAt == timeUnset || e.aguDoneAt > now {
-				continue
-			}
-			switch {
-			case e.isStore:
-				sqe := th.sqEntry(e.inum)
-				if sqe == nil {
-					return fmt.Errorf("pipeline: store %d missing from store queue", e.inum)
-				}
-				if !sqe.eaKnown {
-					sqe.ea = e.rec.EA
-					sqe.eaKnown = true
-					if s.cfg.Disambiguation == DisambSpeculative {
-						if err := s.checkViolation(th, sqe, now); err != nil {
-							return err
-						}
-					}
-				}
-			case e.isLoad && e.valueFrom == valueNone:
-				if err := s.tryLoad(th, e, now, &ports); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	// Post-commit stores drain through the remaining cache ports.
-	for ports > 0 && len(s.committedStores) > 0 {
-		if _, ok := s.dcache.Access(now, s.committedStores[0], true); !ok {
-			break // all MSHRs busy; retry next cycle
-		}
-		s.committedStores = s.committedStores[1:]
-		ports--
-	}
-	return nil
-}
-
-// tryLoad attempts to give a post-AGU load its value: forwarded from the
-// youngest older matching store in its thread, or from the shared cache.
-func (s *Sim) tryLoad(th *thread, e *robEntry, now int64, ports *int) error {
-	var match *sqEntry
-	for i := len(th.sq) - 1; i >= 0; i-- {
-		sqe := &th.sq[i]
-		if sqe.inum >= e.inum {
-			continue
-		}
-		if !sqe.eaKnown {
-			if s.cfg.Disambiguation == DisambConservative {
-				return nil // wait for every older store address
-			}
-			continue // speculate past the unknown address
-		}
-		if sqe.ea == e.rec.EA {
-			match = sqe
-			break
-		}
-	}
-	if match != nil {
-		producer := th.entryByInum(match.inum)
-		if producer == nil {
-			return fmt.Errorf("pipeline: forwarding store %d not in window", match.inum)
-		}
-		if !producer.src2Ready {
-			return nil // data not yet available; retry
-		}
-		e.valueFrom = match.inum
-		e.completeAt = now + int64(s.cfg.ForwardLatency)
-		s.stats.LoadsForwarded++
-		return nil
-	}
-	if *ports == 0 {
-		return nil
-	}
-	out, ok := s.dcache.Access(now, th.addr(e.rec.EA), false)
-	if !ok {
-		return nil // MSHRs exhausted; retry
-	}
-	*ports = *ports - 1
-	e.valueFrom = valueMemory
-	e.completeAt = out.ReadyAt
-	return nil
-}
-
-// checkViolation enforces memory ordering when a store address resolves:
-// any younger load in the same thread that already obtained its value from
-// somewhere older than this store read stale data; it and everything
-// younger is squashed and re-fetched (PA-8000 address-reorder-buffer
-// behaviour).
-func (s *Sim) checkViolation(th *thread, sqe *sqEntry, now int64) error {
-	start := sqe.inum + 1 - th.headInum // ROB offset of the first younger entry
-	for i := int(start); i < th.robCount; i++ {
-		e := th.at(i)
-		if !e.isLoad || e.rec.EA != sqe.ea {
-			continue
-		}
-		if e.valueFrom != valueNone && e.valueFrom < sqe.inum {
-			s.stats.MemViolations++
-			return s.squashFrom(th, e.inum, now)
-		}
-	}
-	return nil
-}
-
-// squashFrom flushes every instruction of the thread from inum (inclusive)
-// to its window tail, restores the renamer newest-first, and re-fetches
-// from inum.
-func (s *Sim) squashFrom(th *thread, inum int64, now int64) error {
-	tail := th.headInum + int64(th.robCount) - 1
-	for n := tail; n >= inum; n-- {
-		e := th.entryByInum(n)
-		if e == nil {
-			return fmt.Errorf("pipeline: squash of %d not in window", n)
-		}
-		s.leaveIQ(e)
-		th.ren.Squash(n)
-		if e.isStore {
-			if len(th.sq) == 0 || th.sq[len(th.sq)-1].inum != n {
-				return fmt.Errorf("pipeline: store queue out of sync squashing %d", n)
-			}
-			th.sq = th.sq[:len(th.sq)-1]
-		}
-		s.stats.SquashedByMem++
-		th.robCount--
-	}
-	// The mispredicted branch the front end froze on may be in the
-	// squashed ROB range or still in the fetch buffer (about to be
-	// discarded); either way it is younger than the squash point and the
-	// freeze must lift, or fetch never resumes.
-	if th.frozen && th.frozenOn >= inum {
-		th.frozen = false
-	}
-	th.fetchBuf = th.fetchBuf[:0]
-	th.fetchSeq = inum
-	th.nextFetchAt = now + 1 + int64(s.cfg.RecoveryPenalty)
-	// The squashed instructions must be re-fetched even if the generator
-	// already reported end-of-trace: the stream window still buffers them.
-	th.traceEnded = false
-	return nil
-}
-
-// --- issue ----------------------------------------------------------------------
-
-func (s *Sim) issueStage(now int64) error {
-	budget := s.cfg.IssueWidth
-	rfReads := [2]int{s.cfg.RFReadPorts, s.cfg.RFReadPorts}
-	for _, th := range s.order() {
-		for i := 0; i < th.robCount && budget > 0; i++ {
-			e := th.at(i)
-			if e.st != stWaiting || !e.ready() {
-				continue
-			}
-			info := e.rec.Inst.Op.Info()
-			pool := s.kindToPool[info.Kind]
-			unit := s.freeUnit(pool, now)
-			if unit < 0 {
-				continue
-			}
-			needReads := readPortNeeds(e)
-			if rfReads[0] < needReads[0] || rfReads[1] < needReads[1] {
-				continue
-			}
-			if !th.ren.AllocateAtIssue(e.inum) {
-				continue // VP issue allocation refused; stays in the queue
-			}
-			if err := s.readIssueOperands(th, e); err != nil {
-				return err
-			}
-			th.ren.NoteRead(e.inum, true, !e.isStore)
-
-			rfReads[0] -= needReads[0]
-			rfReads[1] -= needReads[1]
-			if info.Pipelined {
-				s.pools[pool][unit] = now + 1
-			} else {
-				s.pools[pool][unit] = now + int64(info.Latency)
-			}
-			budget--
-			e.executions++
-			s.stats.Issued++
-			e.st = stExecuting
-			if e.isLoad || e.isStore {
-				e.aguDoneAt = now + int64(info.Latency) // effective-address unit
-				e.completeAt = timeUnset
-			} else {
-				e.completeAt = now + int64(info.Latency)
-			}
-			if s.cfg.Scheme != core.SchemeVPWriteback {
-				s.leaveIQ(e)
-			}
-		}
-	}
-	return nil
-}
-
-func (s *Sim) freeUnit(pool int, now int64) int {
-	for u, busyUntil := range s.pools[pool] {
-		if busyUntil <= now {
-			return u
-		}
-	}
-	return -1
-}
-
-// readPortNeeds counts register-file reads per class performed at issue.
-// Store data is read later (at completion) and is not charged a port — a
-// documented simplification.
-func readPortNeeds(e *robEntry) [2]int {
-	var n [2]int
-	if op := e.ren.Src1; op.Present && !op.Zero {
-		n[classIdxOf(op.Class)]++
-	}
-	if op := e.ren.Src2; op.Present && !op.Zero && !e.isStore {
-		n[classIdxOf(op.Class)]++
-	}
-	return n
-}
-
-// readIssueOperands performs the golden-model check on the operands read
-// at issue time.
-func (s *Sim) readIssueOperands(th *thread, e *robEntry) error {
-	if err := s.checkOperand(th, e, e.ren.Src1, e.rec.Src1Val); err != nil {
-		return err
-	}
-	if !e.isStore {
-		if err := s.checkOperand(th, e, e.ren.Src2, e.rec.Src2Val); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// checkOperand verifies that the physical register behind the operand
-// holds the architecturally correct value.
-func (s *Sim) checkOperand(th *thread, e *robEntry, op core.SrcOp, want uint64) error {
-	if !op.Present || op.Zero || !s.cfg.ValueCheck || !e.rec.HasValues {
-		return nil
-	}
-	f := classIdxOf(op.Class)
-	preg := th.ren.ReadPhys(op.Class, op.Tag)
-	if got := s.prf[f][preg]; got != want {
-		return fmt.Errorf("pipeline: golden-model mismatch at thread %d inum %d (%s): operand %s tag %d -> p%d holds %#x, architectural value %#x",
-			th.id, e.inum, e.rec.Inst, op.Class, op.Tag, preg, got, want)
-	}
-	return nil
-}
-
-// --- dispatch (decode + rename) ---------------------------------------------------
-
-func (s *Sim) dispatchStage(now int64) error {
-	budget := s.cfg.DecodeWidth
-	for _, th := range s.order() {
-		for budget > 0 && len(th.fetchBuf) > 0 {
-			if th.robCount == len(th.rob) {
-				s.stats.ROBStalls++
-				break
-			}
-			if s.iqCount == s.cfg.IQSize {
-				s.stats.IQStalls++
-				break
-			}
-			item := th.fetchBuf[0]
-			renamed, ok := th.ren.Rename(item.rec.Seq, item.rec.Inst)
-			if !ok {
-				break // conventional scheme out of registers; retry next cycle
-			}
-			th.fetchBuf = th.fetchBuf[1:]
-
-			slot := (th.robHead + th.robCount) % len(th.rob)
-			info := item.rec.Inst.Op.Info()
-			th.rob[slot] = robEntry{
-				inum:       item.rec.Seq,
-				rec:        item.rec,
-				ren:        renamed,
-				st:         stWaiting,
-				inIQ:       true,
-				src1Ready:  !renamed.Src1.Present || renamed.Src1.Zero || renamed.Src1.Ready,
-				src2Ready:  !renamed.Src2.Present || renamed.Src2.Zero || renamed.Src2.Ready,
-				completeAt: timeUnset,
-				aguDoneAt:  timeUnset,
-				isLoad:     info.IsLoad,
-				isStore:    info.IsStore,
-				valueFrom:  valueNone,
-				isBranch:   info.IsBranch,
-				isCond:     info.IsBranch && !info.IsUncond,
-				mispred:    item.mispred,
-			}
-			th.robCount++
-			s.iqCount++
-			budget--
-			if info.IsStore {
-				th.sq = append(th.sq, sqEntry{inum: item.rec.Seq})
-			}
-		}
-	}
-	return nil
-}
-
-// --- fetch -------------------------------------------------------------------------
-
-// fetchStage gives the whole fetch bandwidth to one thread per cycle,
-// rotating among threads that can fetch (round-robin, the classic simple
-// SMT fetch policy). With one thread this is the paper's front end.
-func (s *Sim) fetchStage(now int64) {
-	for _, th := range s.order() {
-		if th.traceEnded || th.frozen || now < th.nextFetchAt || len(th.fetchBuf) >= fetchBufSize {
-			continue
-		}
-		s.fetchThread(th, now)
 		return
 	}
+	for i := 0; i < n; i++ {
+		s.orderBuf[i] = s.threads[(s.rotate+i)%n]
+	}
 }
 
-func (s *Sim) fetchThread(th *thread, now int64) {
-	for budget := s.cfg.FetchWidth; budget > 0 && len(th.fetchBuf) < fetchBufSize; budget-- {
-		rec, ok := th.stream.At(th.fetchSeq)
-		if !ok {
-			th.traceEnded = true
-			return
-		}
-		item := fetchItem{rec: rec}
-		info := rec.Inst.Op.Info()
-		if info.IsBranch {
-			predTaken := true // unconditional and indirect: perfect target prediction
-			if !info.IsUncond {
-				predTaken = s.bht.Predict(rec.PC)
-			}
-			if predTaken != rec.Taken {
-				// Mispredicted: the branch itself is fetched, then the
-				// front end freezes until it resolves.
-				item.mispred = true
-				th.fetchBuf = append(th.fetchBuf, item)
-				th.fetchSeq++
-				th.frozen = true
-				th.frozenOn = rec.Seq
-				return
-			}
-			th.fetchBuf = append(th.fetchBuf, item)
-			th.fetchSeq++
-			if rec.Taken {
-				return // a taken branch ends the consecutive fetch group
-			}
-			continue
-		}
-		th.fetchBuf = append(th.fetchBuf, item)
-		th.fetchSeq++
+// threadOrder returns the threads starting at the current rotation offset.
+func (s *Sim) threadOrder() []*thread {
+	if len(s.threads) == 1 {
+		return s.threads
 	}
+	return s.orderBuf
 }
 
 // --- statistics ---------------------------------------------------------------------

@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+)
+
+// safeBoundSrc delays one store's address behind a long multiply chain so
+// the store sits in the queue with an unknown effective address for many
+// cycles while younger instructions pile up behind it.
+const safeBoundSrc = `
+        .data
+d:      .word 3
+        .text
+        ldi r1, d
+        ldi r5, 8
+        mul r6, r5, r31    ; 0, but takes 9 cycles
+        mul r6, r6, r5     ; lengthen the address chain
+        mul r6, r6, r5
+        add r7, r1, r6     ; the store address, very late
+        stq 0(r7), r5
+        ldq r8, 0(r1)
+        add r9, r8, r8
+        add r10, r9, r9
+        halt`
+
+// stepSim builds a simulator over src and calls observe after every cycle
+// until the trace drains (or maxCycles pass).
+func stepSim(t *testing.T, cfg Config, src string, maxCycles int, observe func(s *Sim, th *thread)) *Sim {
+	t.Helper()
+	gen, err := emu.NewTraceGen(asm.MustAssemble("t", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < maxCycles && !sim.Done(); c++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		observe(sim, sim.threads[0])
+	}
+	if !sim.Done() {
+		t.Fatalf("trace not drained after %d cycles", maxCycles)
+	}
+	return sim
+}
+
+// Under speculative disambiguation the no-squash bound must stop just
+// before the oldest store whose address is still unknown — everything
+// younger can be flushed by a violation — and reach the window tail once
+// every store address is resolved.
+func TestSafeBoundSpeculative(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Disambiguation = DisambSpeculative
+	sawUnknown, sawResolved := false, false
+	stepSim(t, cfg, safeBoundSrc, 10000, func(s *Sim, th *thread) {
+		if th.robCount == 0 {
+			return
+		}
+		tail := th.headInum + int64(th.robCount) - 1
+		bound := s.safeBound(th)
+		if bound > tail {
+			t.Fatalf("safe bound %d beyond window tail %d", bound, tail)
+		}
+		unresolved := int64(-1)
+		for i := 0; i < th.sqN; i++ {
+			if sqe := th.sqAt(i); !sqe.eaKnown {
+				unresolved = sqe.inum
+				break
+			}
+		}
+		if unresolved >= 0 {
+			sawUnknown = true
+			if want := unresolved - 1; bound != want {
+				t.Fatalf("safe bound %d with unresolved store %d, want %d", bound, unresolved, want)
+			}
+		} else {
+			sawResolved = true
+			if bound != tail {
+				t.Fatalf("safe bound %d with no unresolved store, want tail %d", bound, tail)
+			}
+		}
+	})
+	if !sawUnknown || !sawResolved {
+		t.Fatalf("test never exercised both regimes (unknown=%v resolved=%v)", sawUnknown, sawResolved)
+	}
+}
+
+// Under conservative disambiguation loads wait for older store addresses,
+// no violation squash can occur, and the bound must always be the window
+// tail — store-queue state is irrelevant.
+func TestSafeBoundConservative(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Disambiguation = DisambConservative
+	sawUnknownStore := false
+	stepSim(t, cfg, safeBoundSrc, 10000, func(s *Sim, th *thread) {
+		if th.robCount == 0 {
+			return
+		}
+		for i := 0; i < th.sqN; i++ {
+			if !th.sqAt(i).eaKnown {
+				sawUnknownStore = true
+			}
+		}
+		tail := th.headInum + int64(th.robCount) - 1
+		if bound := s.safeBound(th); bound != tail {
+			t.Fatalf("conservative safe bound %d, want tail %d", bound, tail)
+		}
+	})
+	if !sawUnknownStore {
+		t.Fatal("test never observed an unresolved store address")
+	}
+}
+
+// missStormSrc produces a burst of stores to distinct cold lines: every
+// store misses, the post-commit buffer backs up behind the cache, and
+// commit must stall on it.
+func missStormSrc(stores int) string {
+	var b strings.Builder
+	b.WriteString("ldi r1, 1048576\n")
+	for i := 0; i < stores; i++ {
+		b.WriteString("stq 0(r1), r31\naddi r1, r1, 32\n")
+	}
+	b.WriteString("halt")
+	return b.String()
+}
+
+// A one-entry post-commit store buffer under a miss storm: commit must
+// stall (CommitSBStalls), the buffer must never exceed its configured
+// size, and the machine must still drain every instruction.
+func TestCommitSBStallsTinyBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StoreBufferSize = 1
+	peak := 0
+	sim := stepSim(t, cfg, missStormSrc(32), 100000, func(s *Sim, th *thread) {
+		if s.sbN > s.cfg.StoreBufferSize {
+			t.Fatalf("store buffer occupancy %d exceeds size %d", s.sbN, s.cfg.StoreBufferSize)
+		}
+		if s.sbN > peak {
+			peak = s.sbN
+		}
+	})
+	st := sim.Stats()
+	if st.CommitSBStalls == 0 {
+		t.Error("expected commit stalls on a 1-entry store buffer under a miss storm")
+	}
+	if want := int64(1 + 2*32); st.Committed != want {
+		t.Errorf("committed %d, want %d", st.Committed, want)
+	}
+	if st.Stores != 32 {
+		t.Errorf("stores %d, want 32", st.Stores)
+	}
+	if peak != 1 {
+		t.Errorf("peak store-buffer occupancy %d, want 1", peak)
+	}
+}
+
+// The same storm with an ample buffer must not stall commit at all, and
+// must finish in fewer cycles than the constrained machine.
+func TestCommitSBStallsAmpleBuffer(t *testing.T) {
+	run := func(size int) Stats {
+		cfg := DefaultConfig()
+		cfg.StoreBufferSize = size
+		sim := stepSim(t, cfg, missStormSrc(32), 100000, func(*Sim, *thread) {})
+		return sim.Stats()
+	}
+	tiny, ample := run(1), run(64)
+	if ample.CommitSBStalls != 0 {
+		t.Errorf("%d commit stalls with a 64-entry buffer, want 0", ample.CommitSBStalls)
+	}
+	if ample.Cycles >= tiny.Cycles {
+		t.Errorf("ample buffer (%d cycles) should beat the 1-entry buffer (%d cycles)", ample.Cycles, tiny.Cycles)
+	}
+	if tiny.Committed != ample.Committed {
+		t.Errorf("committed counts differ: %d vs %d", tiny.Committed, ample.Committed)
+	}
+}

@@ -46,6 +46,23 @@ type Stats struct {
 	// freed.
 	RegLifetimeSum int64
 	RegsFreed      int64
+
+	// Kernel throughput: host wall-clock time accumulated inside the run
+	// loop and the derived simulation rates. These measure the simulator,
+	// not the simulated machine — they vary run to run and are excluded
+	// from Arch(), the architectural view determinism and differential
+	// tests compare.
+	WallSeconds  float64
+	CyclesPerSec float64
+	InstrsPerSec float64
+}
+
+// Arch returns the architectural statistics only: the throughput fields,
+// which depend on host wall-clock time, are zeroed. Two runs of the same
+// workload and configuration produce identical Arch() values.
+func (s Stats) Arch() Stats {
+	s.WallSeconds, s.CyclesPerSec, s.InstrsPerSec = 0, 0, 0
+	return s
 }
 
 // IPC returns committed instructions per cycle.
