@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench tables clean
+.PHONY: check vet build test diff-oracle race bench tables clean
 
 # Tier-1 gate: everything must vet, build and pass.
 check: vet build test
@@ -13,6 +13,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Differential oracle: the pre-refactor scan kernel lives behind the
+# scanoracle build tag; this runs the event-vs-scan equivalence sweep
+# (CI runs it on every push).
+diff-oracle:
+	$(GO) vet -tags scanoracle ./internal/pipeline/
+	$(GO) test -tags scanoracle -run 'TestDifferential' ./internal/pipeline/
+
+race:
+	$(GO) test -race ./...
 
 # Benchmarks; BenchmarkRunBatch compares the serial and parallel engine,
 # and vpbench records the perf trajectory into BENCH_pipeline.json

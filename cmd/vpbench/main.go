@@ -32,6 +32,10 @@ type schemePoint struct {
 	IPC          float64 `json:"ipc"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	InstrsPerSec float64 `json:"instrs_per_sec"`
+	// AllocsPerInstr is host heap allocations per simulated instruction
+	// (runtime.MemStats.Mallocs delta over the run) — the allocs/op
+	// number the CI bench smoke validates.
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
 }
 
 type harnessTiming struct {
@@ -58,15 +62,34 @@ func main() {
 		instr     = flag.Int64("instr", 100_000, "instructions per scheme point")
 		gridInstr = flag.Int64("grid-instr", 20_000, "instructions per harness grid point")
 		wls       = flag.String("workloads", "compress,swim,hydro2d", "workloads for the scheme points")
+		fetchPol  = flag.String("fetch", "", "fetch policy for every run (default round-robin)")
+		issueSel  = flag.String("issue", "", "issue-select heuristic for every run (default oldest-first)")
 	)
 	flag.Parse()
-	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ",")); err != nil {
+	var policies vpr.Policies
+	if *fetchPol != "" {
+		p, ok := vpr.FetchPolicyByName(*fetchPol)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vpbench: unknown fetch policy %q\n", *fetchPol)
+			os.Exit(1)
+		}
+		policies.Fetch = p
+	}
+	if *issueSel != "" {
+		sel, ok := vpr.IssueSelectByName(*issueSel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vpbench: unknown issue-select heuristic %q\n", *issueSel)
+			os.Exit(1)
+		}
+		policies.Issue = sel
+	}
+	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, instr, gridInstr int64, workloads []string) error {
+func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies) error {
 	rep := report{
 		Schema:     "vpr-bench/v1",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -76,25 +99,33 @@ func run(out string, instr, gridInstr int64, workloads []string) error {
 	schemes := []vpr.Scheme{vpr.SchemeConventional, vpr.SchemeVPWriteback, vpr.SchemeVPIssue}
 
 	// Scheme points: fresh engine, cache off, so every point simulates.
+	// Heap allocations are measured around each run (Mallocs is a
+	// monotonic count, unaffected by collections).
 	eng := vpr.New(vpr.WithCache(0))
 	for _, wl := range workloads {
 		for _, scheme := range schemes {
 			cfg := vpr.DefaultConfig()
 			cfg.Scheme = scheme
+			cfg.Policies = policies
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			res, err := eng.Run(ctx, vpr.RunSpec{Workload: wl, Config: cfg, MaxInstr: instr})
 			if err != nil {
 				return err
 			}
+			runtime.ReadMemStats(&m1)
+			allocs := float64(m1.Mallocs-m0.Mallocs) / float64(max(res.Stats.Committed, 1))
 			rep.Schemes = append(rep.Schemes, schemePoint{
-				Scheme:       scheme.String(),
-				Workload:     wl,
-				Instr:        res.Stats.Committed,
-				IPC:          res.Stats.IPC(),
-				CyclesPerSec: res.Stats.CyclesPerSec,
-				InstrsPerSec: res.Stats.InstrsPerSec,
+				Scheme:         scheme.String(),
+				Workload:       wl,
+				Instr:          res.Stats.Committed,
+				IPC:            res.Stats.IPC(),
+				CyclesPerSec:   res.Stats.CyclesPerSec,
+				InstrsPerSec:   res.Stats.InstrsPerSec,
+				AllocsPerInstr: allocs,
 			})
-			fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f\n",
-				scheme, wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec, res.Stats.IPC())
+			fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr\n",
+				scheme, wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec, res.Stats.IPC(), allocs)
 		}
 	}
 
@@ -104,6 +135,7 @@ func run(out string, instr, gridInstr int64, workloads []string) error {
 		for _, scheme := range schemes {
 			cfg := vpr.DefaultConfig()
 			cfg.Scheme = scheme
+			cfg.Policies = policies
 			specs = append(specs, vpr.RunSpec{Workload: w.Name, Config: cfg, MaxInstr: gridInstr})
 		}
 	}

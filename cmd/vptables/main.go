@@ -57,6 +57,8 @@ func main() {
 		md       = flag.Bool("md", false, "emit Markdown (for EXPERIMENTS.md)")
 		progress = flag.Bool("progress", false, "print per-run progress to stderr")
 		par      = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS); results are identical at any level")
+		fetchPol = flag.String("fetch", "", "fetch policy for every run (see the policy list; default round-robin)")
+		issueSel = flag.String("issue", "", "issue-select heuristic for every run (see the policy list; default oldest-first)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -64,9 +66,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := vpr.ExperimentOptions{Instr: *instr}
+	opts := vpr.ExperimentOptions{Instr: *instr, FetchPolicy: *fetchPol, IssueSelect: *issueSel}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
+	}
+	if *fetchPol != "" {
+		if _, ok := vpr.FetchPolicyByName(*fetchPol); !ok {
+			fmt.Fprintf(os.Stderr, "vptables: unknown fetch policy %q (want %s)\n", *fetchPol, policyNames(vpr.FetchPolicies()))
+			os.Exit(1)
+		}
+	}
+	if *issueSel != "" {
+		if _, ok := vpr.IssueSelectByName(*issueSel); !ok {
+			fmt.Fprintf(os.Stderr, "vptables: unknown issue-select heuristic %q (want %s)\n", *issueSel, policyNames(vpr.IssueSelects()))
+			os.Exit(1)
+		}
 	}
 	engineOpts := []vpr.EngineOption{vpr.WithParallelism(*par)}
 	if *progress {
@@ -121,6 +135,14 @@ func names() string {
 	return strings.Join(ns, ", ")
 }
 
+func policyNames(infos []vpr.PolicyInfo) string {
+	var ns []string
+	for _, p := range infos {
+		ns = append(ns, p.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
 // usage augments the flag listing with the registry-generated experiment
 // reference so `vptables -h` documents what each name reproduces.
 func usage() {
@@ -133,6 +155,14 @@ func usage() {
 		if e.Name == "fig7" {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", "pressure", "§3.1 worked example, analytic (local printout)")
 		}
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\nfetch policies (-fetch, from the policy registry):\n")
+	for _, p := range vpr.FetchPolicies() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", p.Name, p.Description)
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\nissue-select heuristics (-issue, from the policy registry):\n")
+	for _, p := range vpr.IssueSelects() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", p.Name, p.Description)
 	}
 }
 

@@ -82,8 +82,8 @@ func TestEngineCacheHook(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	infos := vpr.Experiments()
-	if len(infos) != 11 {
-		t.Fatalf("registry size = %d, want 11", len(infos))
+	if len(infos) != 12 {
+		t.Fatalf("registry size = %d, want 12", len(infos))
 	}
 	seen := map[string]bool{}
 	for _, e := range infos {

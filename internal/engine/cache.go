@@ -17,8 +17,12 @@ type cacheKey [sha256.Size]byte
 // specKey canonically hashes a spec's workload/generator identity, machine
 // configuration (scheme, renaming parameters, cache geometry, ... — every
 // field of pipeline.Config is a value type, so %#v is a canonical
-// rendering) and instruction budget. Specs driven by an anonymous custom
-// generator have no stable identity and are reported as not cacheable.
+// rendering; the Policies field renders as its fetch/issue policy *names*
+// via pipeline.Policies.GoString, so two configs selecting the same named
+// policies share an entry while non-default policies key distinctly, and
+// probes — pure observers — never perturb the key) and instruction budget.
+// Specs driven by an anonymous custom generator have no stable identity
+// and are reported as not cacheable.
 func specKey(spec sim.Spec) (cacheKey, bool) {
 	if spec.Gen != nil && spec.GenID == "" {
 		return cacheKey{}, false

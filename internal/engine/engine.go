@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
@@ -55,6 +56,16 @@ func WithRunHook(fn func(spec sim.Spec)) Option {
 	return func(e *Engine) { e.runHook = fn }
 }
 
+// WithProbe attaches a pipeline probe to every simulation the engine runs;
+// a spec-level probe (Config.Policies.Probe) takes precedence for its run.
+// Probed runs never read the result cache — a cached result would skip the
+// callbacks — but still populate it for unprobed repeats. Batches invoke
+// the probe from several goroutines at once, so it must be safe for
+// concurrent use.
+func WithProbe(p pipeline.Probe) Option {
+	return func(e *Engine) { e.probe = p }
+}
+
 // Engine executes simulation points with bounded parallelism and result
 // caching. The zero value is not ready; use New. An Engine is safe for
 // concurrent use.
@@ -63,6 +74,7 @@ type Engine struct {
 	cacheCapacity int
 	cache         *resultCache
 	runHook       func(sim.Spec)
+	probe         pipeline.Probe
 
 	progressMu sync.Mutex
 	progress   func(format string, args ...any)
@@ -105,13 +117,18 @@ func (e *Engine) progressf(format string, args ...any) {
 	e.progress(format, args...)
 }
 
-// Run executes one point, consulting and populating the cache.
+// Run executes one point, consulting and populating the cache. Probed
+// specs (an attached engine probe or Config.Policies.Probe) bypass the
+// cache read so the probe always observes a real simulation.
 func (e *Engine) Run(ctx context.Context, spec sim.Spec) (sim.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return sim.Result{}, err
 	}
+	if e.probe != nil && spec.Config.Policies.Probe == nil {
+		spec.Config.Policies.Probe = e.probe
+	}
 	key, cacheable := specKey(spec)
-	if cacheable && e.cache != nil {
+	if cacheable && e.cache != nil && spec.Config.Policies.Probe == nil {
 		if v, ok := e.cache.get(key); ok {
 			e.progressf("engine: cached %s", runLabel(spec))
 			return v.(sim.Result), nil
@@ -132,13 +149,16 @@ func (e *Engine) Run(ctx context.Context, spec sim.Spec) (sim.Result, error) {
 }
 
 // RunSMT executes one multithreaded point, consulting and populating the
-// cache.
+// cache. The same probe handling as Run applies.
 func (e *Engine) RunSMT(ctx context.Context, spec sim.SMTSpec) (sim.SMTResult, error) {
 	if err := ctx.Err(); err != nil {
 		return sim.SMTResult{}, err
 	}
+	if e.probe != nil && spec.Config.Policies.Probe == nil {
+		spec.Config.Policies.Probe = e.probe
+	}
 	key := smtKey(spec)
-	if e.cache != nil {
+	if e.cache != nil && spec.Config.Policies.Probe == nil {
 		if v, ok := e.cache.get(key); ok {
 			e.progressf("engine: cached smt %v", spec.Workloads)
 			return copySMTResult(v.(sim.SMTResult)), nil

@@ -30,6 +30,13 @@ type Options struct {
 	Workloads []string
 	// Progress, when non-nil, receives a line per completed run.
 	Progress func(format string, args ...any)
+
+	// FetchPolicy and IssueSelect name pipeline stage policies
+	// (pipeline.FetchPolicyByName / IssueSelectByName) applied to every
+	// simulation point whose plan did not already choose one. Empty
+	// selects the defaults — the paper's machine.
+	FetchPolicy string
+	IssueSelect string
 }
 
 func (o Options) workloads() []string {
@@ -59,6 +66,49 @@ func (o Options) checkWorkloads() error {
 		if _, ok := workloads.ByName(name); !ok {
 			return fmt.Errorf("experiments: unknown workload %q", name)
 		}
+	}
+	return nil
+}
+
+// applyPolicies resolves the option's named stage policies and applies
+// them to every point of the plan that has not already chosen its own —
+// plan-level selections (e.g. the smt-fetch study's per-point fetch
+// policies) win over the experiment-wide override.
+func (o Options) applyPolicies(plan *Plan) error {
+	if o.FetchPolicy == "" && o.IssueSelect == "" {
+		return nil
+	}
+	var fetch pipeline.FetchPolicy
+	var issue pipeline.IssueSelect
+	// Errors stay unprefixed: Experiment.Run wraps them with the
+	// "experiments: <name>:" context.
+	if o.FetchPolicy != "" {
+		p, ok := pipeline.FetchPolicyByName(o.FetchPolicy)
+		if !ok {
+			return fmt.Errorf("unknown fetch policy %q", o.FetchPolicy)
+		}
+		fetch = p
+	}
+	if o.IssueSelect != "" {
+		sel, ok := pipeline.IssueSelectByName(o.IssueSelect)
+		if !ok {
+			return fmt.Errorf("unknown issue-select heuristic %q", o.IssueSelect)
+		}
+		issue = sel
+	}
+	apply := func(p *pipeline.Policies) {
+		if fetch != nil && p.Fetch == nil {
+			p.Fetch = fetch
+		}
+		if issue != nil && p.Issue == nil {
+			p.Issue = issue
+		}
+	}
+	for i := range plan.Specs {
+		apply(&plan.Specs[i].Config.Policies)
+	}
+	for i := range plan.SMT {
+		apply(&plan.SMT[i].Config.Policies)
 	}
 	return nil
 }

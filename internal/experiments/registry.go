@@ -50,12 +50,17 @@ type Experiment struct {
 	Render func(v any) string
 }
 
-// Run builds the experiment's plan, executes it on r, and reduces the
-// results. The value's dynamic type is the experiment's result type.
+// Run builds the experiment's plan, applies the option's named stage
+// policies to every point the plan left at defaults, executes it on r, and
+// reduces the results. The value's dynamic type is the experiment's result
+// type.
 func (e Experiment) Run(ctx context.Context, r Runner, opts Options) (any, error) {
 	plan, err := e.Build(opts)
 	if err != nil {
 		return nil, err
+	}
+	if err := opts.applyPolicies(&plan); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 	}
 	runs, err := r.RunBatch(ctx, plan.Specs)
 	if err != nil {
@@ -150,6 +155,13 @@ var registry = []Experiment{
 		Reproduces: "paper §3.1's analytic holding-time example, measured on all three schemes",
 		Build:      func(opts Options) (Plan, error) { return lifetimePlan(opts) },
 		Render:     func(v any) string { return RenderLifetime(v.([]LifetimeRow)) },
+	},
+	{
+		Name:       "smt-fetch",
+		Title:      "SMT fetch policy: ICOUNT vs round-robin",
+		Reproduces: "repository study: Tullsen-style ICOUNT fetch gating on the §5 SMT machine, via the pluggable stage-policy surface",
+		Build:      func(opts Options) (Plan, error) { return fetchPolicyPlan(nil, withSMTDefaultWorkloads(opts)) },
+		Render:     func(v any) string { return RenderFetchPolicy(v.([]FetchPolicyRow)) },
 	},
 }
 

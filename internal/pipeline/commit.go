@@ -35,6 +35,9 @@ func (s *Sim) commitStage(now int64) error {
 			if s.onCommit != nil {
 				s.onCommit(th.id, e.inum)
 			}
+			if s.probe != nil {
+				s.probe.Committed(now, th.id, e.inum)
+			}
 			s.lastCommitCycle = now
 			th.robHead = (th.robHead + 1) % len(th.rob)
 			th.robCount--

@@ -44,6 +44,11 @@ type Config struct {
 	Scheme core.Scheme
 	Rename core.Params
 
+	// Policies composes the pluggable stage behaviours: the fetch
+	// policy, the issue-select heuristic and an optional probe. The zero
+	// value is the paper's machine (see Policies).
+	Policies Policies
+
 	// Functional-unit counts (paper Table 1). Complex-integer units are
 	// shared between multiply and divide.
 	SimpleIntUnits  int
@@ -84,12 +89,6 @@ type Config struct {
 	// many consecutive cycles. The VP scheme's NRR reservation exists
 	// precisely to make this impossible.
 	DeadlockCycles int64
-
-	// scanKernel selects the pre-refactor full-window-scan stage
-	// implementations (scanref.go) instead of the event-indexed
-	// scheduling kernel. Unexported: only this package's differential
-	// tests run the reference kernel; both kernels are cycle-identical.
-	scanKernel bool
 }
 
 // DefaultConfig is the paper's processor: 8-way fetch/decode/commit,

@@ -1,3 +1,5 @@
+//go:build scanoracle
+
 package pipeline
 
 import (
@@ -17,12 +19,17 @@ type commitRec struct {
 	inum int64
 }
 
-// runKernel executes one configuration over the given generators and
-// returns the architectural statistics, the per-thread committed counts
-// and the machine-order commit stream.
-func runKernel(t *testing.T, cfg Config, gens []trace.Generator) (Stats, []int64, []commitRec) {
+// runKernel executes one configuration over the given generators — on the
+// scan reference kernel when scan is set — and returns the architectural
+// statistics, the per-thread committed counts and the machine-order commit
+// stream.
+func runKernel(t *testing.T, cfg Config, gens []trace.Generator, scan bool) (Stats, []int64, []commitRec) {
 	t.Helper()
-	sim, err := NewSMT(cfg, gens)
+	mk := NewSMT
+	if scan {
+		mk = newScanSMT
+	}
+	sim, err := mk(cfg, gens)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,12 +58,8 @@ func runKernel(t *testing.T, cfg Config, gens []trace.Generator) (Stats, []int64
 func diffKernels(t *testing.T, name string, cfg Config, mkGens func() []trace.Generator) {
 	t.Helper()
 	t.Run(name, func(t *testing.T) {
-		evCfg := cfg
-		evCfg.scanKernel = false
-		scCfg := cfg
-		scCfg.scanKernel = true
-		evStats, evPer, evStream := runKernel(t, evCfg, mkGens())
-		scStats, scPer, scStream := runKernel(t, scCfg, mkGens())
+		evStats, evPer, evStream := runKernel(t, cfg, mkGens(), false)
+		scStats, scPer, scStream := runKernel(t, cfg, mkGens(), true)
 		if evStats != scStats {
 			t.Errorf("stats diverge:\nevent: %+v\nscan:  %+v", evStats, scStats)
 		}

@@ -33,26 +33,30 @@ func (s *Sim) dispatchStage(now int64) error {
 			slot := (th.robHead + th.robCount) % len(th.rob)
 			info := item.rec.Inst.Op.Info()
 			th.rob[slot] = robEntry{
-				inum:       item.rec.Seq,
-				rec:        item.rec,
-				ren:        renamed,
-				gen:        s.nextGen(),
-				st:         stWaiting,
-				inIQ:       true,
-				src1Ready:  !renamed.Src1.Present || renamed.Src1.Zero || renamed.Src1.Ready,
-				src2Ready:  !renamed.Src2.Present || renamed.Src2.Zero || renamed.Src2.Ready,
-				completeAt: timeUnset,
-				aguDoneAt:  timeUnset,
-				isLoad:     info.IsLoad,
-				isStore:    info.IsStore,
-				valueFrom:  valueNone,
-				isBranch:   info.IsBranch,
-				isCond:     info.IsBranch && !info.IsUncond,
-				mispred:    item.mispred,
+				inum:           item.rec.Seq,
+				rec:            item.rec,
+				ren:            renamed,
+				gen:            s.nextGen(),
+				st:             stWaiting,
+				inIQ:           true,
+				src1Ready:      !renamed.Src1.Present || renamed.Src1.Zero || renamed.Src1.Ready,
+				src2Ready:      !renamed.Src2.Present || renamed.Src2.Zero || renamed.Src2.Ready,
+				completeAt:     timeUnset,
+				aguDoneAt:      timeUnset,
+				allocBlockedAt: timeUnset,
+				isLoad:         info.IsLoad,
+				isStore:        info.IsStore,
+				valueFrom:      valueNone,
+				isBranch:       info.IsBranch,
+				isCond:         info.IsBranch && !info.IsUncond,
+				mispred:        item.mispred,
 			}
 			th.robCount++
 			s.iqCount++
 			budget--
+			if s.probe != nil {
+				s.probe.Dispatched(now, th.id, item.rec.Seq)
+			}
 			if info.IsStore {
 				th.sqPush(sqEntry{inum: item.rec.Seq})
 			}

@@ -173,6 +173,9 @@ func (s *Sim) checkViolation(th *thread, sqe *sqEntry, now int64) error {
 // and waiter lists are invalidated by the renamer's squash notifications.
 func (s *Sim) squashFrom(th *thread, inum int64, now int64) error {
 	tail := th.headInum + int64(th.robCount) - 1
+	if s.probe != nil {
+		s.probe.Squashed(now, th.id, inum, int(tail-inum+1))
+	}
 	for n := tail; n >= inum; n-- {
 		e := th.entryByInum(n)
 		if e == nil {

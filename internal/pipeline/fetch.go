@@ -1,17 +1,43 @@
 package pipeline
 
-// fetchStage gives the whole fetch bandwidth to one thread per cycle,
-// rotating among threads that can fetch (round-robin, the classic simple
-// SMT fetch policy). With one thread this is the paper's front end.
+// fetchStage gives the whole fetch bandwidth to one thread per cycle. The
+// default (nil FetchPolicy) takes the first fetchable thread in rotation
+// order — round-robin, the classic simple SMT fetch policy, and with one
+// thread the paper's front end. A configured FetchPolicy instead chooses
+// among every fetchable thread (ICOUNT favours the least-loaded one).
 // Identical under both kernels.
 func (s *Sim) fetchStage(now int64) {
-	for _, th := range s.threadOrder() {
-		if th.traceEnded || th.frozen || now < th.nextFetchAt || th.fbFull() {
-			continue
+	if s.fetchPol == nil {
+		for _, th := range s.threadOrder() {
+			if !s.canFetch(th, now) {
+				continue
+			}
+			s.fetchThread(th, now)
+			return
 		}
-		s.fetchThread(th, now)
 		return
 	}
+	cands := s.fetchCands[:0]
+	ths := s.fetchCandTh[:0]
+	for _, th := range s.threadOrder() {
+		if !s.canFetch(th, now) {
+			continue
+		}
+		cands = append(cands, FetchCandidate{TID: th.id, InFlight: th.robCount, Buffered: th.fbN})
+		ths = append(ths, th)
+	}
+	s.fetchCands, s.fetchCandTh = cands, ths
+	if len(cands) == 0 {
+		return
+	}
+	if i := s.fetchPol.Pick(now, cands); i >= 0 && i < len(ths) {
+		s.fetchThread(ths[i], now)
+	}
+}
+
+// canFetch reports whether the thread can receive fetch bandwidth now.
+func (s *Sim) canFetch(th *thread, now int64) bool {
+	return !th.traceEnded && !th.frozen && now >= th.nextFetchAt && !th.fbFull()
 }
 
 func (s *Sim) fetchThread(th *thread, now int64) {

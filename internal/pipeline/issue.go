@@ -2,12 +2,13 @@ package pipeline
 
 import "repro/internal/core"
 
-// issueStage selects ready instructions for execution, oldest-first per
-// thread, threads in rotation order, bounded by issue width, functional
-// units, register-file read ports and — under VP issue allocation — the
-// renamer's willingness to hand out a register (a refusal leaves the
-// instruction queued and counts an issue block, every cycle, exactly like
-// the reference scan retries it).
+// issueStage selects ready instructions for execution, threads in rotation
+// order, bounded by issue width, functional units, register-file read
+// ports and — under VP issue allocation — the renamer's willingness to
+// hand out a register (a refusal leaves the instruction queued and counts
+// an issue block, every cycle, exactly like the reference scan retries
+// it). Selection within a thread is oldest-first by default; a configured
+// IssueSelect heuristic reorders the attempts under the same budgets.
 //
 // Event kernel: only the ready queue is walked; an instruction enters it
 // at dispatch (operands already ready) or when the last missing operand is
@@ -17,6 +18,9 @@ func (s *Sim) issueStage(now int64) error {
 		return s.issueScan(now)
 	}
 	s.tickPools(now)
+	if s.issueSel != nil {
+		return s.issueRanked(now)
+	}
 	budget := s.cfg.IssueWidth
 	rfReads := [2]int{s.cfg.RFReadPorts, s.cfg.RFReadPorts}
 	for _, th := range s.threadOrder() {
@@ -28,58 +32,153 @@ func (s *Sim) issueStage(now int64) error {
 			if e == nil || e.gen != ref.gen || e.st != stWaiting || !e.ready() {
 				continue // stale reference; drop
 			}
-			if budget == 0 {
-				kept = append(kept, ref)
-				continue
-			}
-			info := e.rec.Inst.Op.Info()
-			pool := s.kindToPool[info.Kind]
-			if s.pools[pool].free == 0 {
-				kept = append(kept, ref)
-				continue
-			}
-			needReads := readPortNeeds(e)
-			if rfReads[0] < needReads[0] || rfReads[1] < needReads[1] {
-				kept = append(kept, ref)
-				continue
-			}
-			if !th.ren.AllocateAtIssue(e.inum) {
-				kept = append(kept, ref)
-				continue // VP issue allocation refused; stays in the queue
-			}
-			if err := s.readIssueOperands(th, e); err != nil {
+			issued, err := s.tryIssueEntry(th, e, now, &budget, &rfReads)
+			if err != nil {
 				return err
 			}
-			th.ren.NoteRead(e.inum, true, !e.isStore)
-
-			rfReads[0] -= needReads[0]
-			rfReads[1] -= needReads[1]
-			if info.Pipelined {
-				s.pools[pool].take(now, now+1)
-			} else {
-				s.pools[pool].take(now, now+int64(info.Latency))
-			}
-			budget--
-			e.executions++
-			s.stats.Issued++
-			e.st = stExecuting
-			e.inReadyQ = false
-			if e.isLoad || e.isStore {
-				// Effective-address unit latency, then the memory pipeline.
-				e.completeAt = timeUnset
-				e.aguDoneAt = s.aguWheel.schedule(now,
-					wevent{due: now + int64(info.Latency), inum: e.inum, tid: int32(th.id), gen: e.gen})
-			} else {
-				e.completeAt = s.compWheel.schedule(now,
-					wevent{due: now + int64(info.Latency), inum: e.inum, tid: int32(th.id), gen: e.gen})
-			}
-			if s.cfg.Scheme != core.SchemeVPWriteback {
-				s.leaveIQ(e)
+			if !issued {
+				kept = append(kept, ref)
 			}
 		}
 		th.readyQ = kept
 	}
 	return nil
+}
+
+// issueRanked is the issue stage under a configured IssueSelect: per
+// thread the live ready-queue entries become candidates (oldest-first),
+// the heuristic reorders them, and issue is attempted in that order under
+// the same budgets the default path charges.
+func (s *Sim) issueRanked(now int64) error {
+	budget := s.cfg.IssueWidth
+	rfReads := [2]int{s.cfg.RFReadPorts, s.cfg.RFReadPorts}
+	for _, th := range s.threadOrder() {
+		cands := s.issueCands[:0]
+		for _, ref := range th.readyQ {
+			e := th.entryByInum(ref.inum)
+			if e == nil || e.gen != ref.gen || e.st != stWaiting || !e.ready() {
+				continue // stale reference; dropped at compaction below
+			}
+			cands = append(cands, IssueCandidate{
+				Inum:    ref.inum,
+				Latency: e.rec.Inst.Op.Info().Latency,
+				IsLoad:  e.isLoad,
+				IsStore: e.isStore,
+			})
+		}
+		s.issueCands = cands
+		if len(cands) > 1 {
+			s.issueSel.Rank(now, cands)
+		}
+		for _, c := range cands {
+			e := th.entryByInum(c.Inum)
+			if e == nil || e.st != stWaiting || !e.ready() || !e.inReadyQ {
+				continue // defensive against a duplicating Rank
+			}
+			if _, err := s.tryIssueEntry(th, e, now, &budget, &rfReads); err != nil {
+				return err
+			}
+		}
+		// Compact the queue: drop issued and stale references, keeping
+		// the survivors in inum order.
+		kept := th.readyQ[:0]
+		for _, ref := range th.readyQ {
+			e := th.entryByInum(ref.inum)
+			if e == nil || e.gen != ref.gen || !e.inReadyQ {
+				continue
+			}
+			kept = append(kept, ref)
+		}
+		th.readyQ = kept
+	}
+	return nil
+}
+
+// tryIssueEntry attempts to issue one ready instruction under the shared
+// cycle budgets. It reports whether the instruction issued; a false return
+// with nil error means a structural or allocation block — the instruction
+// stays queued and retries.
+func (s *Sim) tryIssueEntry(th *thread, e *robEntry, now int64, budget *int, rfReads *[2]int) (bool, error) {
+	if *budget == 0 {
+		return false, nil
+	}
+	info := e.rec.Inst.Op.Info()
+	pool := s.kindToPool[info.Kind]
+	if s.pools[pool].free == 0 {
+		return false, nil
+	}
+	needReads := readPortNeeds(e)
+	if rfReads[0] < needReads[0] || rfReads[1] < needReads[1] {
+		return false, nil
+	}
+	if !s.allocAtIssue(th, e, now) {
+		return false, nil // VP issue allocation refused; stays in the queue
+	}
+	if err := s.readIssueOperands(th, e); err != nil {
+		return false, err
+	}
+	th.ren.NoteRead(e.inum, true, !e.isStore)
+
+	rfReads[0] -= needReads[0]
+	rfReads[1] -= needReads[1]
+	if info.Pipelined {
+		s.pools[pool].take(now, now+1)
+	} else {
+		s.pools[pool].take(now, now+int64(info.Latency))
+	}
+	*budget--
+	e.executions++
+	s.stats.Issued++
+	if s.probe != nil {
+		s.probe.Issued(now, th.id, e.inum)
+	}
+	e.st = stExecuting
+	e.inReadyQ = false
+	if e.isLoad || e.isStore {
+		// Effective-address unit latency, then the memory pipeline.
+		e.completeAt = timeUnset
+		e.aguDoneAt = s.aguWheel.schedule(now,
+			wevent{due: now + int64(info.Latency), inum: e.inum, tid: int32(th.id), gen: e.gen})
+	} else {
+		e.completeAt = s.compWheel.schedule(now,
+			wevent{due: now + int64(info.Latency), inum: e.inum, tid: int32(th.id), gen: e.gen})
+	}
+	if s.cfg.Scheme != core.SchemeVPWriteback {
+		s.leaveIQ(e)
+	}
+	return true, nil
+}
+
+// allocAtIssue consults the renamer's issue-time allocation, gated by the
+// shared pool's free events: a VP-issue refusal can only flip to success
+// after a register of the destination's class returns to the pool
+// (commit, squash or early release in any member context — protection
+// promotions and reservation changes are release-coupled, see the
+// renamer's §3.3 machinery), and all releases of a cycle happen in stages
+// that run before issue. So a blocked instruction skips the consult (the
+// window lookup and reservation check) until the pool's free listener has
+// fired since the refusal, counting each skipped cycle as the issue block
+// the consult would have recorded — IssueBlocks accounting stays
+// byte-identical to the consult-every-cycle reference.
+func (s *Sim) allocAtIssue(th *thread, e *robEntry, now int64) bool {
+	if e.allocBlockedAt != timeUnset {
+		if s.lastRegFree[classIdxOf(e.ren.Dst.Class)] <= e.allocBlockedAt {
+			s.deferredIssueBlocks++
+			if s.probe != nil {
+				s.probe.AllocRefused(now, th.id, e.inum, true)
+			}
+			return false
+		}
+		e.allocBlockedAt = timeUnset
+	}
+	if !th.ren.AllocateAtIssue(e.inum) {
+		e.allocBlockedAt = now
+		if s.probe != nil {
+			s.probe.AllocRefused(now, th.id, e.inum, true)
+		}
+		return false
+	}
+	return true
 }
 
 // readPortNeeds counts register-file reads per class performed at issue.

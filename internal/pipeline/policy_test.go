@@ -1,0 +1,259 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// policyRun executes one config over synthetic traces and returns the
+// architectural stats plus the machine-order commit stream.
+func policyRun(t *testing.T, cfg Config, seeds []int64, instr int64) (Stats, []int64) {
+	t.Helper()
+	gens := make([]trace.Generator, len(seeds))
+	for i, seed := range seeds {
+		p := synth.Defaults()
+		p.Seed = seed
+		if i%2 == 1 {
+			p.MissRatio = 0.4 // asymmetric threads: fetch policy matters
+		}
+		gens[i] = trace.Take(synth.New(p), instr)
+	}
+	sim, err := NewSMT(cfg, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []int64
+	sim.onCommit = func(tid int, inum int64) {
+		stream = append(stream, int64(tid)<<48|inum)
+	}
+	st, err := sim.Run(0)
+	if err != nil {
+		t.Fatalf("%v\nstats: %s", err, st)
+	}
+	return st.Arch(), stream
+}
+
+func smtPolicyConfig(threads int) Config {
+	cfg := DefaultConfig()
+	cfg.Rename.PhysRegs = 32*threads + 32
+	nrr := 32 / threads
+	cfg.Rename.NRRInt, cfg.Rename.NRRFP = nrr, nrr
+	return cfg
+}
+
+// TestExplicitDefaultPoliciesByteIdentical: selecting the default policies
+// explicitly (which routes fetch and issue through the generic
+// policy-driven paths) must be cycle-identical to the nil fast paths —
+// statistics and commit streams byte for byte, single-threaded and SMT.
+func TestExplicitDefaultPoliciesByteIdentical(t *testing.T) {
+	rr, ok := FetchPolicyByName(FetchRoundRobin)
+	if !ok {
+		t.Fatal("round-robin not registered")
+	}
+	oldest, ok := IssueSelectByName(IssueOldestFirst)
+	if !ok {
+		t.Fatal("oldest-first not registered")
+	}
+	for _, tc := range []struct {
+		name  string
+		cfg   Config
+		seeds []int64
+	}{
+		{"1T-conv", DefaultConfig(), []int64{7}},
+		{"2T-vpwb", smtPolicyConfig(2), []int64{7, 8}},
+	} {
+		for _, scheme := range []core.Scheme{core.SchemeConventional, core.SchemeVPWriteback, core.SchemeVPIssue} {
+			cfg := tc.cfg
+			cfg.Scheme = scheme
+			defSt, defStream := policyRun(t, cfg, tc.seeds, 8000)
+			cfg.Policies.Fetch = rr
+			cfg.Policies.Issue = oldest
+			polSt, polStream := policyRun(t, cfg, tc.seeds, 8000)
+			if defSt != polSt {
+				t.Errorf("%s/%s: explicit default policies diverge:\ndefault:  %+v\nexplicit: %+v", tc.name, scheme, defSt, polSt)
+			}
+			if len(defStream) != len(polStream) {
+				t.Fatalf("%s/%s: commit streams diverge in length", tc.name, scheme)
+			}
+			for i := range defStream {
+				if defStream[i] != polStream[i] {
+					t.Fatalf("%s/%s: commit streams diverge at %d", tc.name, scheme, i)
+				}
+			}
+		}
+	}
+}
+
+// TestICountFetchChangesSchedule: under asymmetric SMT load, ICOUNT must
+// actually steer the front end (different cycle count from round-robin)
+// while committing the same instructions.
+func TestICountFetchChangesSchedule(t *testing.T) {
+	icount, _ := FetchPolicyByName(FetchICount)
+	cfg := smtPolicyConfig(2)
+	cfg.Scheme = core.SchemeVPWriteback
+	base, _ := policyRun(t, cfg, []int64{7, 8}, 8000)
+	cfg.Policies.Fetch = icount
+	ic, _ := policyRun(t, cfg, []int64{7, 8}, 8000)
+	if base.Committed != ic.Committed {
+		t.Fatalf("committed diverge: %d vs %d", base.Committed, ic.Committed)
+	}
+	if base.Cycles == ic.Cycles {
+		t.Errorf("icount produced the round-robin schedule (%d cycles); policy not wired?", base.Cycles)
+	}
+}
+
+// TestIssueSelectHeuristics: every registered heuristic must drive a run
+// to completion with the same committed count; the non-default ones go
+// through the ranked issue path.
+func TestIssueSelectHeuristics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = core.SchemeVPIssue
+	cfg.Rename.PhysRegs = 48
+	cfg.Rename.NRRInt, cfg.Rename.NRRFP = 8, 8
+	cfg.Debug = true
+	base, _ := policyRun(t, cfg, []int64{11}, 6000)
+	for _, info := range IssueSelects() {
+		sel, ok := IssueSelectByName(info.Name)
+		if !ok {
+			t.Fatalf("listed heuristic %q not resolvable", info.Name)
+		}
+		c := cfg
+		c.Policies.Issue = sel
+		st, _ := policyRun(t, c, []int64{11}, 6000)
+		if st.Committed != base.Committed {
+			t.Errorf("%s: committed %d, want %d", info.Name, st.Committed, base.Committed)
+		}
+	}
+}
+
+// statsProbe counts every probe event with plain integers (single-run use).
+type statsProbe struct {
+	cycles, dispatched, issued, completed, committed int64
+	squashes, flushed                                int64
+	refusedIssue, refusedWB                          int64
+}
+
+func (p *statsProbe) CycleStart(int64)                        { p.cycles++ }
+func (p *statsProbe) Dispatched(int64, int, int64)            { p.dispatched++ }
+func (p *statsProbe) Issued(int64, int, int64)                { p.issued++ }
+func (p *statsProbe) Completed(int64, int, int64)             { p.completed++ }
+func (p *statsProbe) Committed(int64, int, int64)             { p.committed++ }
+func (p *statsProbe) Squashed(_ int64, _ int, _ int64, n int) { p.squashes++; p.flushed += int64(n) }
+func (p *statsProbe) AllocRefused(_ int64, _ int, _ int64, atIssue bool) {
+	if atIssue {
+		p.refusedIssue++
+	} else {
+		p.refusedWB++
+	}
+}
+
+// TestProbeEventsMatchStatistics ties every probe event stream to the
+// statistics the kernel reports — in particular AllocRefused(atIssue) must
+// equal IssueBlocks even though the free-listener gating skips most of the
+// underlying renamer consults, and AllocRefused(!atIssue) must equal the
+// write-back re-execution count.
+func TestProbeEventsMatchStatistics(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeVPIssue, core.SchemeVPWriteback} {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Rename.PhysRegs = 40 // heavy allocation pressure
+		cfg.Rename.NRRInt, cfg.Rename.NRRFP = 1, 1
+		probe := &statsProbe{}
+		cfg.Policies.Probe = probe
+		st, _ := policyRun(t, cfg, []int64{3}, 6000)
+		if probe.committed != st.Committed {
+			t.Errorf("%s: probe committed %d, stats %d", scheme, probe.committed, st.Committed)
+		}
+		if probe.issued != st.Issued {
+			t.Errorf("%s: probe issued %d, stats %d", scheme, probe.issued, st.Issued)
+		}
+		if probe.cycles != st.Cycles {
+			t.Errorf("%s: probe cycles %d, stats %d", scheme, probe.cycles, st.Cycles)
+		}
+		if probe.refusedIssue != st.IssueBlocks {
+			t.Errorf("%s: probe issue refusals %d, stats IssueBlocks %d", scheme, probe.refusedIssue, st.IssueBlocks)
+		}
+		if probe.refusedWB != st.Reexecutions {
+			t.Errorf("%s: probe wb refusals %d, stats Reexecutions %d", scheme, probe.refusedWB, st.Reexecutions)
+		}
+		if probe.squashes != st.MemViolations {
+			t.Errorf("%s: probe squashes %d, stats MemViolations %d", scheme, probe.squashes, st.MemViolations)
+		}
+		if probe.flushed != st.SquashedByMem {
+			t.Errorf("%s: probe flushed %d, stats SquashedByMem %d", scheme, probe.flushed, st.SquashedByMem)
+		}
+		if probe.dispatched < st.Committed {
+			t.Errorf("%s: probe dispatched %d < committed %d", scheme, probe.dispatched, st.Committed)
+		}
+		if probe.completed < st.Committed {
+			t.Errorf("%s: probe completed %d < committed %d", scheme, probe.completed, st.Committed)
+		}
+		switch scheme {
+		case core.SchemeVPIssue:
+			if st.IssueBlocks == 0 {
+				t.Errorf("vp-issue under NRR=1 pressure recorded no issue blocks; gating test is vacuous")
+			}
+		case core.SchemeVPWriteback:
+			if st.Reexecutions == 0 {
+				t.Errorf("vp-wb under NRR=1 pressure recorded no re-executions; refusal test is vacuous")
+			}
+		}
+	}
+}
+
+// TestProbeAttachedIsStatsNeutral: attaching a probe must not change any
+// architectural statistic.
+func TestProbeAttachedIsStatsNeutral(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = core.SchemeVPWriteback
+	bare, bareStream := policyRun(t, cfg, []int64{5}, 6000)
+	cfg.Policies.Probe = &statsProbe{}
+	probed, probedStream := policyRun(t, cfg, []int64{5}, 6000)
+	if bare != probed {
+		t.Errorf("probe changed statistics:\nbare:   %+v\nprobed: %+v", bare, probed)
+	}
+	if len(bareStream) != len(probedStream) {
+		t.Errorf("probe changed the commit stream length")
+	}
+}
+
+// TestPolicyRegistry: names resolve, defaults lead the listings, unknowns
+// are rejected, and the Policies cache-key rendering names policies
+// canonically while ignoring probes.
+func TestPolicyRegistry(t *testing.T) {
+	if fp := FetchPolicies(); len(fp) < 2 || fp[0].Name != FetchRoundRobin {
+		t.Errorf("fetch policy listing wrong: %+v", fp)
+	}
+	if is := IssueSelects(); len(is) < 3 || is[0].Name != IssueOldestFirst {
+		t.Errorf("issue-select listing wrong: %+v", is)
+	}
+	if _, ok := FetchPolicyByName("nonesuch"); ok {
+		t.Error("unknown fetch policy resolved")
+	}
+	if _, ok := IssueSelectByName("nonesuch"); ok {
+		t.Error("unknown issue-select resolved")
+	}
+	for _, info := range FetchPolicies() {
+		if p, ok := FetchPolicyByName(info.Name); !ok || p.Name() != info.Name {
+			t.Errorf("fetch policy %q: lookup/name mismatch", info.Name)
+		}
+	}
+	for _, info := range IssueSelects() {
+		if p, ok := IssueSelectByName(info.Name); !ok || p.Name() != info.Name {
+			t.Errorf("issue-select %q: lookup/name mismatch", info.Name)
+		}
+	}
+	zero := Policies{}.GoString()
+	rr, _ := FetchPolicyByName(FetchRoundRobin)
+	oldest, _ := IssueSelectByName(IssueOldestFirst)
+	if got := (Policies{Fetch: rr, Issue: oldest, Probe: &statsProbe{}}).GoString(); got != zero {
+		t.Errorf("explicit defaults + probe render %q, zero value %q; cache keys would diverge", got, zero)
+	}
+	ic, _ := FetchPolicyByName(FetchICount)
+	if got := (Policies{Fetch: ic}).GoString(); got == zero {
+		t.Errorf("icount renders like the default: %q", got)
+	}
+}

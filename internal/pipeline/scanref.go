@@ -1,3 +1,5 @@
+//go:build scanoracle
+
 package pipeline
 
 import (
@@ -5,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/trace"
 )
 
 // Scan reference kernel.
@@ -13,11 +16,22 @@ import (
 // the whole reorder buffer for work (write-back, execute, issue) and again
 // on every result broadcast, and probe functional units with a linear scan
 // over per-unit busy-until times. They are kept as the differential oracle
-// for the event-indexed kernel: a Config with the unexported scanKernel
-// flag set (test-only, this package) runs these verbatim, and the
-// differential test asserts cycle-exact equality of statistics and commit
-// streams between the two kernels across randomized workloads, schemes and
-// SMT configurations.
+// for the event-indexed kernel: a simulator built by newScanSMT (test-only,
+// this package) runs these verbatim, and the differential test asserts
+// cycle-exact equality of statistics and commit streams between the two
+// kernels across randomized workloads, schemes and SMT configurations.
+//
+// The oracle is compiled only under the scanoracle build tag (ROADMAP
+// "Retire the scan oracle once stable"); CI runs the differential tests
+// with the tag enabled. It models the default issue selection only — a
+// configured IssueSelect applies to the event kernel alone — while fetch
+// policies and probes, which live outside the scheduling kernel, behave
+// identically under both.
+
+// newScanSMT builds a simulator running the scan reference kernel.
+func newScanSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
+	return newSMT(cfg, gens, true)
+}
 
 func (s *Sim) writebackScan(now int64) error {
 	wbPorts := [2]int{s.cfg.RFWritePorts, s.cfg.RFWritePorts}
@@ -43,6 +57,9 @@ func (s *Sim) writebackScan(now int64) error {
 					}
 					e.st = stCompleted
 					s.leaveIQ(e)
+					if s.probe != nil {
+						s.probe.Completed(now, th.id, e.inum)
+					}
 				}
 				continue
 			}
@@ -68,6 +85,9 @@ func (s *Sim) writebackScan(now int64) error {
 				if e.isLoad {
 					e.valueFrom = valueNone
 				}
+				if s.probe != nil {
+					s.probe.AllocRefused(now, th.id, e.inum, false)
+				}
 				continue
 			}
 			if hasDst {
@@ -77,6 +97,9 @@ func (s *Sim) writebackScan(now int64) error {
 			}
 			e.st = stCompleted
 			s.leaveIQ(e)
+			if s.probe != nil {
+				s.probe.Completed(now, th.id, e.inum)
+			}
 			if e.isBranch {
 				s.resolveBranch(th, e, now)
 			}
@@ -171,6 +194,9 @@ func (s *Sim) issueScan(now int64) error {
 				continue
 			}
 			if !th.ren.AllocateAtIssue(e.inum) {
+				if s.probe != nil {
+					s.probe.AllocRefused(now, th.id, e.inum, true)
+				}
 				continue // VP issue allocation refused; stays in the queue
 			}
 			if err := s.readIssueOperands(th, e); err != nil {
@@ -188,6 +214,9 @@ func (s *Sim) issueScan(now int64) error {
 			budget--
 			e.executions++
 			s.stats.Issued++
+			if s.probe != nil {
+				s.probe.Issued(now, th.id, e.inum)
+			}
 			e.st = stExecuting
 			if e.isLoad || e.isStore {
 				e.aguDoneAt = now + int64(info.Latency) // effective-address unit

@@ -1,0 +1,21 @@
+//go:build !scanoracle
+
+package pipeline
+
+// Without the scanoracle build tag the scan reference kernel (scanref.go)
+// is not compiled. Sim.scan is only ever set by newScanSMT, which lives
+// behind the tag, so these stubs are unreachable; they exist to keep the
+// stage files' kernel dispatch building either way. CI runs the
+// differential oracle tests with `go test -tags scanoracle`.
+
+func (s *Sim) writebackScan(int64) error {
+	panic("pipeline: scan oracle requires the scanoracle build tag")
+}
+
+func (s *Sim) executeScan(int64) error {
+	panic("pipeline: scan oracle requires the scanoracle build tag")
+}
+
+func (s *Sim) issueScan(int64) error {
+	panic("pipeline: scan oracle requires the scanoracle build tag")
+}

@@ -97,6 +97,13 @@ type robEntry struct {
 	completeAt int64 // cycle execution finishes (timeUnset while unknown)
 	aguDoneAt  int64 // memory ops: cycle the effective address is ready
 
+	// allocBlockedAt records the cycle VP-issue allocation last refused
+	// this instruction (timeUnset otherwise). The issue stage skips the
+	// renamer consult — counting the block without paying for it — until
+	// a register of the destination's class returns to the shared pool
+	// (see allocAtIssue).
+	allocBlockedAt int64
+
 	isLoad    bool
 	isStore   bool
 	valueFrom int64 // loads: forwarding store inum, valueMemory, or valueNone
@@ -238,6 +245,18 @@ type Sim struct {
 	cfg  Config
 	scan bool // use the scan reference kernel instead of the event kernel
 
+	// Stage policies and the probe, copied out of cfg.Policies (nil =
+	// built-in default behaviour; the nil fast paths are branch-free
+	// beyond one comparison per event site).
+	fetchPol FetchPolicy
+	issueSel IssueSelect
+	probe    Probe
+
+	// Reused policy scratch (allocated only when a policy is attached).
+	fetchCands  []FetchCandidate
+	fetchCandTh []*thread
+	issueCands  []IssueCandidate
+
 	threads []*thread
 	pool    *core.SharedPool
 	bht     *bpred.BHT
@@ -278,6 +297,13 @@ type Sim struct {
 	orderBuf        []*thread
 	lastCommitCycle int64
 
+	// deferredIssueBlocks counts the cycles the issue stage skipped a
+	// provably futile VP-issue allocation consult (see allocAtIssue).
+	// Each skipped cycle is one issue block the renamer would have
+	// counted; Stats folds them back so IssueBlocks stays byte-identical
+	// to the consult-every-cycle accounting.
+	deferredIssueBlocks int64
+
 	// onCommit, when set, observes every commit in machine order
 	// (differential tests compare commit streams across kernels).
 	onCommit func(tid int, inum int64)
@@ -298,6 +324,13 @@ func New(cfg Config, gen trace.Generator) (*Sim, error) {
 // are shared, so cfg.Rename.PhysRegs must cover every thread's
 // architectural registers plus headroom for renaming.
 func NewSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
+	return newSMT(cfg, gens, false)
+}
+
+// newSMT is the shared constructor; scan selects the pre-refactor
+// full-window-scan reference kernel (differential tests only; compiled
+// under the scanoracle build tag).
+func newSMT(cfg Config, gens []trace.Generator, scan bool) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -309,12 +342,22 @@ func NewSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
 			cfg.Rename.PhysRegs, len(gens), cfg.Rename.LogicalRegs)
 	}
 	s := &Sim{
-		cfg:    cfg,
-		scan:   cfg.scanKernel,
-		pool:   core.NewSharedPool(cfg.Rename.PhysRegs),
-		bht:    bpred.New(cfg.BHTEntries),
-		dcache: cache.New(cfg.Cache),
-		sbBuf:  make([]uint64, cfg.StoreBufferSize),
+		cfg:      cfg,
+		scan:     scan,
+		fetchPol: cfg.Policies.Fetch,
+		issueSel: cfg.Policies.Issue,
+		probe:    cfg.Policies.Probe,
+		pool:     core.NewSharedPool(cfg.Rename.PhysRegs),
+		bht:      bpred.New(cfg.BHTEntries),
+		dcache:   cache.New(cfg.Cache),
+		sbBuf:    make([]uint64, cfg.StoreBufferSize),
+	}
+	if s.fetchPol != nil {
+		s.fetchCands = make([]FetchCandidate, 0, len(gens))
+		s.fetchCandTh = make([]*thread, 0, len(gens))
+	}
+	if s.issueSel != nil {
+		s.issueCands = make([]IssueCandidate, 0, 64)
 	}
 	s.lastRegFree[0], s.lastRegFree[1] = timeUnset, timeUnset
 	s.pool.SetFreeListener(func(f int) { s.lastRegFree[f] = s.cycle })
@@ -421,6 +464,7 @@ func (s *Sim) Stats() Stats {
 			st.IssueBlocks += v.IssueBlocks
 		}
 	}
+	st.IssueBlocks += s.deferredIssueBlocks
 	if s.wallNanos > 0 {
 		st.WallSeconds = float64(s.wallNanos) / 1e9
 		st.CyclesPerSec = float64(st.Cycles) / st.WallSeconds
@@ -475,6 +519,9 @@ func (s *Sim) runLoop(ctx context.Context, maxCommits int64) error {
 // thread every cycle for fairness.
 func (s *Sim) Step() error {
 	now := s.cycle
+	if s.probe != nil {
+		s.probe.CycleStart(now)
+	}
 	s.rotateOrder()
 	if err := s.commitStage(now); err != nil {
 		return err

@@ -54,6 +54,9 @@ func (s *Sim) writebackStage(now int64) error {
 				}
 				e.st = stCompleted
 				s.leaveIQ(e)
+				if s.probe != nil {
+					s.probe.Completed(now, th.id, e.inum)
+				}
 				th.wbPend = removeRefAt(th.wbPend, i)
 				continue
 			}
@@ -77,6 +80,9 @@ func (s *Sim) writebackStage(now int64) error {
 				if e.isLoad {
 					e.valueFrom = valueNone
 				}
+				if s.probe != nil {
+					s.probe.AllocRefused(now, th.id, e.inum, false)
+				}
 				th.wbPend = removeRefAt(th.wbPend, i)
 				s.enqueueReady(th, e) // operands are still ready; re-issue from the queue
 				continue
@@ -88,6 +94,9 @@ func (s *Sim) writebackStage(now int64) error {
 			}
 			e.st = stCompleted
 			s.leaveIQ(e)
+			if s.probe != nil {
+				s.probe.Completed(now, th.id, e.inum)
+			}
 			if e.isBranch {
 				s.resolveBranch(th, e, now)
 			}

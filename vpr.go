@@ -17,6 +17,12 @@
 //     paper's evaluation (Table 2, Figures 4–7), four ablations, the SMT
 //     future-work study and the register-lifetime study, each a named,
 //     data-driven experiment that builds a spec list and reduces results,
+//   - pluggable stage policies and probes (Policies, WithProbe): the SMT
+//     fetch policy and the issue-select heuristic are small interfaces
+//     looked up by name in a policy registry (FetchPolicies,
+//     IssueSelects), and a Probe observes kernel events — dispatch,
+//     issue, completion, commit, squash, allocation refusal — cycle by
+//     cycle without allocating on the hot path,
 //   - the workload catalog named after the paper's SPEC95 benchmarks,
 //   - the §3.1 analytic register-pressure model (ChainPressure),
 //   - an assembler for the mini-ISA, so custom workloads can be written
@@ -124,6 +130,14 @@ func WithProgress(fn func(format string, args ...any)) EngineOption {
 // asserting cache behaviour in tests.
 func WithRunHook(fn func(spec RunSpec)) EngineOption { return engine.WithRunHook(fn) }
 
+// WithProbe attaches a pipeline probe to every simulation the engine runs
+// (a spec-level probe in Config.Policies.Probe takes precedence for its
+// run). Probed runs never read the result cache — a cached result would
+// skip the callbacks — but still populate it for unprobed repeats.
+// Batches invoke the probe from several goroutines at once, so it must be
+// safe for concurrent use.
+func WithProbe(p Probe) EngineOption { return engine.WithProbe(p) }
+
 // Engine executes simulation points and experiments with bounded
 // parallelism and result caching. Construct with New; an Engine is safe
 // for concurrent use.
@@ -195,6 +209,61 @@ func Run(spec RunSpec) (Result, error) { return sim.Run(spec) }
 // Deprecated: construct an Engine with New and use Engine.RunSMT.
 func RunSMT(spec SMTSpec) (SMTResult, error) { return sim.RunSMT(spec) }
 
+// --- Stage policies and probes ------------------------------------------------
+
+// Policies composes the pluggable per-stage behaviours of a Config: the
+// SMT fetch policy, the issue-select heuristic and an optional probe. The
+// zero value is the paper's §4.1 machine everywhere.
+type Policies = pipeline.Policies
+
+// FetchPolicy decides which hardware thread receives the front end's
+// fetch bandwidth each cycle; FetchCandidate is what it chooses among.
+type (
+	FetchPolicy    = pipeline.FetchPolicy
+	FetchCandidate = pipeline.FetchCandidate
+)
+
+// IssueSelect ranks a thread's ready instructions for the issue stage;
+// IssueCandidate is one ready instruction.
+type (
+	IssueSelect    = pipeline.IssueSelect
+	IssueCandidate = pipeline.IssueCandidate
+)
+
+// Probe observes kernel events (dispatch, issue, completion, commit,
+// squash, allocation refusal, cycle boundaries) without allocating on the
+// simulation hot path. Embed BaseProbe to implement only the events of
+// interest.
+type (
+	Probe     = pipeline.Probe
+	BaseProbe = pipeline.BaseProbe
+)
+
+// PolicyInfo describes one registered policy for listings and CLI help.
+type PolicyInfo = pipeline.PolicyInfo
+
+// The registered policy names, usable with FetchPolicyByName and
+// IssueSelectByName (and the CLI -fetch/-issue flags).
+const (
+	FetchRoundRobin       = pipeline.FetchRoundRobin       // default: first fetchable thread in rotation order
+	FetchICount           = pipeline.FetchICount           // Tullsen-style least-loaded-thread fetch gating
+	IssueOldestFirst      = pipeline.IssueOldestFirst      // default: program order
+	IssueLoadFirst        = pipeline.IssueLoadFirst        // ready loads before everything else
+	IssueLongLatencyFirst = pipeline.IssueLongLatencyFirst // longest execution latency first
+)
+
+// FetchPolicies lists the registered fetch policies, default first.
+func FetchPolicies() []PolicyInfo { return pipeline.FetchPolicies() }
+
+// FetchPolicyByName returns the registered fetch policy.
+func FetchPolicyByName(name string) (FetchPolicy, bool) { return pipeline.FetchPolicyByName(name) }
+
+// IssueSelects lists the registered issue-select heuristics, default first.
+func IssueSelects() []PolicyInfo { return pipeline.IssueSelects() }
+
+// IssueSelectByName returns the registered issue-select heuristic.
+func IssueSelectByName(name string) (IssueSelect, bool) { return pipeline.IssueSelectByName(name) }
+
 // --- Experiment registry ------------------------------------------------------
 
 // ExperimentOptions tune the experiment runners (instruction budget per
@@ -256,6 +325,10 @@ type SMTRow = experiments.SMTRow
 // LifetimeRow is one point of the register-holding-time study (§3.1 in
 // vivo).
 type LifetimeRow = experiments.LifetimeRow
+
+// FetchPolicyRow is one point of the SMT fetch-policy study (ICOUNT vs
+// round-robin on the §5 machine).
+type FetchPolicyRow = experiments.FetchPolicyRow
 
 // RunTable2 reproduces Table 2 (conventional vs VP write-back at 64
 // registers, max NRR), optionally with the 20-cycle miss-penalty footnote.
