@@ -38,6 +38,21 @@ type schemePoint struct {
 	AllocsPerInstr float64 `json:"allocs_per_instr"`
 }
 
+// multicorePoint records the multi-core runner's throughput: N cores in
+// cycle-lockstep behind the banked shared L2. The CI bench smoke fails
+// if this point is missing from the report.
+type multicorePoint struct {
+	Workload       string  `json:"workload"`
+	Cores          int     `json:"cores"`
+	L2SizeBytes    int     `json:"l2_size_bytes"`
+	L2Banks        int     `json:"l2_banks"`
+	Instr          int64   `json:"instr"` // committed, aggregate
+	IPC            float64 `json:"ipc"`   // aggregate
+	InstrsPerSec   float64 `json:"instrs_per_sec"`
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	L2MissRatio    float64 `json:"l2_miss_ratio"`
+}
+
 type harnessTiming struct {
 	Specs           int     `json:"specs"`
 	InstrPerSpec    int64   `json:"instr_per_spec"`
@@ -49,11 +64,12 @@ type harnessTiming struct {
 }
 
 type report struct {
-	Schema     string        `json:"schema"`
-	Generated  string        `json:"generated"`
-	GoMaxProcs int           `json:"go_max_procs"`
-	Schemes    []schemePoint `json:"schemes"`
-	Harness    harnessTiming `json:"harness"`
+	Schema     string         `json:"schema"`
+	Generated  string         `json:"generated"`
+	GoMaxProcs int            `json:"go_max_procs"`
+	Schemes    []schemePoint  `json:"schemes"`
+	Multicore  multicorePoint `json:"multicore"`
+	Harness    harnessTiming  `json:"harness"`
 }
 
 func main() {
@@ -64,8 +80,26 @@ func main() {
 		wls       = flag.String("workloads", "compress,swim,hydro2d", "workloads for the scheme points")
 		fetchPol  = flag.String("fetch", "", "fetch policy for every run (default round-robin)")
 		issueSel  = flag.String("issue", "", "issue-select heuristic for every run (default oldest-first)")
+		cores     = flag.Int("cores", 2, "core count for the recorded multicore point")
+		l2Geom    = flag.String("l2", "", "shared L2 geometry for the multicore point: SIZE[:BANKS], e.g. 256K:4 (default DefaultL2Config)")
 	)
 	flag.Parse()
+	if *cores < 1 {
+		fmt.Fprintf(os.Stderr, "vpbench: -cores must be at least 1, have %d\n", *cores)
+		os.Exit(1)
+	}
+	l2 := vpr.DefaultL2Config()
+	if *l2Geom != "" {
+		size, banks, err := vpr.ParseL2Geometry(*l2Geom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpbench: -l2: %v\n", err)
+			os.Exit(1)
+		}
+		l2.SizeBytes = size
+		if banks > 0 {
+			l2.Banks = banks
+		}
+	}
 	var policies vpr.Policies
 	if *fetchPol != "" {
 		p, ok := vpr.FetchPolicyByName(*fetchPol)
@@ -83,13 +117,13 @@ func main() {
 		}
 		policies.Issue = sel
 	}
-	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies); err != nil {
+	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies, *cores, l2); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies) error {
+func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies, cores int, l2 vpr.L2Config) error {
 	rep := report{
 		Schema:     "vpr-bench/v1",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -127,6 +161,47 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 			fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr\n",
 				scheme, wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec, res.Stats.IPC(), allocs)
 		}
+	}
+
+	// Multicore point: N cores in lockstep behind the banked shared L2,
+	// the throughput the multicore experiment pays per point.
+	{
+		wl := workloads[0]
+		mcCfg := vpr.DefaultConfig()
+		mcCfg.Policies = policies
+		names := make([]string, cores)
+		for i := range names {
+			names[i] = wl
+		}
+		spec := vpr.MulticoreSpec{
+			Workloads:       names,
+			Config:          mcCfg,
+			L2:              l2,
+			MaxInstrPerCore: instr / int64(cores),
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		res, err := vpr.RunMulticore(spec)
+		if err != nil {
+			return err
+		}
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(max(res.Stats.Committed, 1))
+		mcMiss := res.Stats.L2MissRatio()
+		rep.Multicore = multicorePoint{
+			Workload:       wl,
+			Cores:          cores,
+			L2SizeBytes:    l2.SizeBytes,
+			L2Banks:        l2.Banks,
+			Instr:          res.Stats.Committed,
+			IPC:            res.Stats.IPC(),
+			InstrsPerSec:   res.Stats.InstrsPerSec,
+			AllocsPerInstr: allocs,
+			L2MissRatio:    mcMiss,
+		}
+		fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  l2miss %.3f\n",
+			fmt.Sprintf("mc×%d", cores), wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec,
+			res.Stats.IPC(), allocs, mcMiss)
 	}
 
 	// Harness grid: every catalog workload × scheme, serial vs parallel.

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	vpr "repro"
@@ -59,6 +60,8 @@ func main() {
 		par      = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS); results are identical at any level")
 		fetchPol = flag.String("fetch", "", "fetch policy for every run (see the policy list; default round-robin)")
 		issueSel = flag.String("issue", "", "issue-select heuristic for every run (see the policy list; default oldest-first)")
+		cores    = flag.String("cores", "", "core counts for the multicore experiment (comma-separated; default 1,2,4)")
+		l2       = flag.String("l2", "", "shared L2 geometry for the multicore experiment: SIZE[:BANKS], e.g. 256K:4 or 1M:8")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -69,6 +72,22 @@ func main() {
 	opts := vpr.ExperimentOptions{Instr: *instr, FetchPolicy: *fetchPol, IssueSelect: *issueSel}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
+	}
+	if *cores != "" {
+		cs, err := parseCores(*cores)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vptables: -cores: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Cores = cs
+	}
+	if *l2 != "" {
+		size, banks, err := vpr.ParseL2Geometry(*l2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vptables: -l2: %v\n", err)
+			os.Exit(1)
+		}
+		opts.L2SizeBytes, opts.L2Banks = size, banks
 	}
 	if *fetchPol != "" {
 		if _, ok := vpr.FetchPolicyByName(*fetchPol); !ok {
@@ -133,6 +152,19 @@ func names() string {
 		ns = append(ns, e.name)
 	}
 	return strings.Join(ns, ", ")
+}
+
+// parseCores parses a comma-separated core-count list ("1,2,4").
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func policyNames(infos []vpr.PolicyInfo) string {

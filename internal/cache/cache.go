@@ -147,6 +147,11 @@ func (c *Cache) install(lineAddr uint64, dirty bool) {
 	l.dirty = dirty
 }
 
+// Drain installs every refill that has completed by cycle now. Accesses
+// drain lazily, so calling this is only needed to settle state for
+// inspection. Like Access, it panics if time goes backwards.
+func (c *Cache) Drain(now int64) { c.drain(now) }
+
 // Access performs a load (write=false) or store (write=true) of the word at
 // addr. ok=false means a primary miss could not start because all MSHRs are
 // busy; the caller must retry in a later cycle. Loads should consult the

@@ -183,6 +183,62 @@ func copySMTResult(r sim.SMTResult) sim.SMTResult {
 	return r
 }
 
+// RunMulticore executes one multi-core point, consulting and populating
+// the cache; the key covers the per-core machine and the shared-L2
+// memory configuration. The same probe handling as Run applies (the
+// probe reaches every core).
+func (e *Engine) RunMulticore(ctx context.Context, spec sim.MulticoreSpec) (sim.MulticoreResult, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.MulticoreResult{}, err
+	}
+	if e.probe != nil && spec.Config.Policies.Probe == nil {
+		spec.Config.Policies.Probe = e.probe
+	}
+	key := multicoreKey(spec)
+	if e.cache != nil && spec.Config.Policies.Probe == nil {
+		if v, ok := e.cache.get(key); ok {
+			e.progressf("engine: cached multicore %v", spec.Workloads)
+			return copyMulticoreResult(v.(sim.MulticoreResult)), nil
+		}
+	}
+	res, err := sim.RunMulticoreContext(ctx, spec)
+	if err != nil {
+		return res, err
+	}
+	if e.cache != nil {
+		e.cache.put(key, copyMulticoreResult(res))
+	}
+	e.progressf("engine: ran multicore %v", spec.Workloads)
+	return res, nil
+}
+
+// RunMulticoreBatch fans independent multi-core specs out over the worker
+// pool — each multi-core machine runs its cores in lockstep on one
+// worker; the sharding is across machines — and returns results in spec
+// order.
+func (e *Engine) RunMulticoreBatch(ctx context.Context, specs []sim.MulticoreSpec) ([]sim.MulticoreResult, error) {
+	results := make([]sim.MulticoreResult, len(specs))
+	err := e.forEach(ctx, len(specs), func(ctx context.Context, i int) error {
+		res, err := e.RunMulticore(ctx, specs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// copyMulticoreResult deep-copies the per-core slice so cached entries
+// never share a backing array with what callers receive.
+func copyMulticoreResult(r sim.MulticoreResult) sim.MulticoreResult {
+	r.PerCore = append([]pipeline.Stats(nil), r.PerCore...)
+	return r
+}
+
 // RunBatch fans specs out over the worker pool and returns results in spec
 // order. The first error cancels the remaining work and is returned; if
 // ctx is cancelled, the returned error satisfies errors.Is(err,

@@ -44,7 +44,7 @@ func earlyReleasePlan(opts Options) (Plan, error) {
 			point(name, er, opts.instr()),
 			point(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr()))
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []AblationRow
 		for i, name := range names {
 			conv, rel, vp := runs[3*i], runs[3*i+1], runs[3*i+2]
@@ -92,7 +92,7 @@ func disambiguationPlan(opts Options) (Plan, error) {
 			specs = append(specs, point(name, cfg, opts.instr()))
 		}
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []AblationRow
 		k := 0
 		for _, name := range names {
@@ -141,7 +141,7 @@ func recoveryPlan(opts Options, penalties []int) (Plan, error) {
 			specs = append(specs, point(name, cfg, opts.instr()))
 		}
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []AblationRow
 		k := 0
 		for _, name := range names {
@@ -198,7 +198,7 @@ func splitNRRPlan(opts Options) (Plan, error) {
 			specs = append(specs, point(name, cfg, opts.instr()))
 		}
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []AblationRow
 		k := 0
 		for _, name := range names {

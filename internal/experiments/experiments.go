@@ -37,6 +37,14 @@ type Options struct {
 	// selects the defaults — the paper's machine.
 	FetchPolicy string
 	IssueSelect string
+
+	// Cores is the core-count sweep of the multicore experiment (default
+	// 1, 2, 4; the CLI -cores flag).
+	Cores []int
+	// L2SizeBytes and L2Banks override the shared L2 geometry of the
+	// multicore experiment (0 = mem.DefaultL2Config; the CLI -l2 flag).
+	L2SizeBytes int
+	L2Banks     int
 }
 
 func (o Options) workloads() []string {
@@ -109,6 +117,9 @@ func (o Options) applyPolicies(plan *Plan) error {
 	}
 	for i := range plan.SMT {
 		apply(&plan.SMT[i].Config.Policies)
+	}
+	for i := range plan.Multicore {
+		apply(&plan.Multicore[i].Config.Policies)
 	}
 	return nil
 }
@@ -202,7 +213,7 @@ func table2Plan(opts Options, withPenalty20 bool) (Plan, error) {
 			specs = append(specs, point(name, c, opts.instr()), point(name, v, opts.instr()))
 		}
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var out Table2
 		var convIPCs, vpIPCs []float64
 		var execSum float64
@@ -292,7 +303,7 @@ func nrrSweepPlan(scheme core.Scheme, nrrs []int, opts Options) (Plan, error) {
 			specs = append(specs, point(name, baseConfig(scheme, physRegs, nrr), opts.instr()))
 		}
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		out := NRRSweep{
 			Scheme:  scheme,
 			NRRs:    nrrs,
@@ -362,7 +373,7 @@ func figure6Plan(opts Options) (Plan, error) {
 			point(name, baseConfig(core.SchemeVPWriteback, physRegs, nrr), opts.instr()),
 			point(name, baseConfig(core.SchemeVPIssue, physRegs, nrr), opts.instr()))
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []Fig6Row
 		for i, name := range names {
 			conv, wb, iss := runs[3*i], runs[3*i+1], runs[3*i+2]
@@ -425,7 +436,7 @@ func figure7Plan(opts Options) (Plan, error) {
 				point(name, baseConfig(core.SchemeVPWriteback, regs, nrr), opts.instr()))
 		}
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		out := Fig7{RegCounts: regCounts, Cells: map[string][]Fig7Cell{}}
 		k := 0
 		for _, name := range names {

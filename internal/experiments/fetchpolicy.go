@@ -87,7 +87,7 @@ func fetchPolicyPlan(threadCounts []int, opts Options) (Plan, error) {
 			specs = append(specs, rrSpec, icSpec)
 		}
 	}
-	reduce := func(_ []sim.Result, smt []sim.SMTResult) (any, error) {
+	reduce := func(_ []sim.Result, smt []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []FetchPolicyRow
 		k := 0
 		for _, m := range mixes {

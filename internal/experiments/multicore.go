@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// MulticoreRow is one core-count × workload point of the multi-core
+// study: aggregate IPC per renaming scheme behind the banked shared L2.
+type MulticoreRow struct {
+	Workload       string
+	Cores          int
+	ConvIPC        float64 // aggregate across cores
+	VPIPC          float64
+	ImprovementPct float64
+	L2MissRatio    float64 // shared-L2 misses per fetch (conventional point)
+	L2Conflicts    int64   // bank-bus conflicts (conventional point)
+}
+
+// multicoreDefaultCores is the sweep the registry experiment defaults to.
+var multicoreDefaultCores = []int{1, 2, 4}
+
+// multicoreDefaultSubset keeps the default run affordable: simulation
+// work scales with the core count, and the shared-L2 story is told by a
+// cache-hungry integer kernel and two FP kernels.
+var multicoreDefaultSubset = []string{"compress", "swim", "hydro2d"}
+
+// l2Config resolves the option's shared-L2 overrides over the defaults.
+func (o Options) l2Config() mem.L2Config {
+	cfg := mem.DefaultL2Config()
+	if o.L2SizeBytes > 0 {
+		cfg.SizeBytes = o.L2SizeBytes
+	}
+	if o.L2Banks > 0 {
+		cfg.Banks = o.L2Banks
+	}
+	return cfg
+}
+
+// multicorePlan sweeps core count × register-pool scheme over the banked
+// shared L2 — the ROADMAP's multi-core sharding axis. Each core runs a
+// private copy of the workload on the paper's machine (64 registers, max
+// NRR); the per-core instruction budget divides the option's budget so
+// total simulated work stays constant across the sweep.
+func multicorePlan(opts Options) (Plan, error) {
+	if err := opts.checkWorkloads(); err != nil {
+		return Plan{}, err
+	}
+	coreCounts := opts.Cores
+	if len(coreCounts) == 0 {
+		coreCounts = multicoreDefaultCores
+	}
+	for _, n := range coreCounts {
+		if n < 1 {
+			return Plan{}, fmt.Errorf("experiments: bad core count %d", n)
+		}
+	}
+	l2 := opts.l2Config()
+	names := opts.workloads()
+	var specs []sim.MulticoreSpec
+	for _, name := range names {
+		for _, n := range coreCounts {
+			specs = append(specs,
+				multicorePointSpec(name, core.SchemeConventional, n, l2, opts),
+				multicorePointSpec(name, core.SchemeVPWriteback, n, l2, opts))
+		}
+	}
+	reduce := func(_ []sim.Result, _ []sim.SMTResult, mc []sim.MulticoreResult) (any, error) {
+		var rows []MulticoreRow
+		k := 0
+		for _, name := range names {
+			for _, n := range coreCounts {
+				conv, vp := mc[k], mc[k+1]
+				k += 2
+				row := MulticoreRow{
+					Workload:       name,
+					Cores:          n,
+					ConvIPC:        conv.Stats.IPC(),
+					VPIPC:          vp.Stats.IPC(),
+					ImprovementPct: improvementPct(conv.Stats.IPC(), vp.Stats.IPC()),
+					L2MissRatio:    conv.Stats.L2MissRatio(),
+					L2Conflicts:    conv.Stats.L2Conflicts,
+				}
+				rows = append(rows, row)
+				opts.progress("multicore %-9s cores=%d conv %.3f vp %.3f (%+.0f%%) l2miss %.3f",
+					name, n, row.ConvIPC, row.VPIPC, row.ImprovementPct, row.L2MissRatio)
+			}
+		}
+		return rows, nil
+	}
+	return Plan{Multicore: specs, Reduce: reduce}, nil
+}
+
+func multicorePointSpec(name string, scheme core.Scheme, cores int, l2 mem.L2Config, opts Options) sim.MulticoreSpec {
+	names := make([]string, cores)
+	for i := range names {
+		names[i] = name
+	}
+	return sim.MulticoreSpec{
+		Workloads:       names,
+		Config:          baseConfig(scheme, 64, 32),
+		L2:              l2,
+		MaxInstrPerCore: opts.instr() / int64(cores),
+	}
+}
+
+// RunMulticoreStudy executes the multi-core scaling study on a fresh
+// default engine (the registry path is Experiment "multicore" via
+// Experiment.Run or vpr.Engine.RunExperiment).
+func RunMulticoreStudy(coreCounts []int, opts Options) ([]MulticoreRow, error) {
+	opts.Cores = coreCounts
+	v, err := runPlan(multicorePlan(withMulticoreDefaultWorkloads(opts)))
+	if err != nil {
+		return nil, err
+	}
+	return v.([]MulticoreRow), nil
+}
+
+// withMulticoreDefaultWorkloads applies multicoreDefaultSubset when the
+// caller did not restrict the workload set.
+func withMulticoreDefaultWorkloads(opts Options) Options {
+	if len(opts.Workloads) == 0 {
+		opts.Workloads = multicoreDefaultSubset
+	}
+	return opts
+}
+
+// RenderMulticore formats the multi-core study: aggregate IPC per scheme,
+// the VP improvement, and the shared-L2 behaviour per core count.
+func RenderMulticore(rows []MulticoreRow) string {
+	var tb metrics.Table
+	tb.AddRow("bench", "cores", "conv IPC", "vp IPC", "imp(%)", "L2 miss", "bank conflicts")
+	for _, r := range rows {
+		tb.AddRow(r.Workload, fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.2f", r.ConvIPC), fmt.Sprintf("%.2f", r.VPIPC),
+			fmt.Sprintf("%+.0f", r.ImprovementPct),
+			fmt.Sprintf("%.3f", r.L2MissRatio), fmt.Sprintf("%d", r.L2Conflicts))
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("each core is the paper's machine (64 regs/file, max NRR) with a private L1;\n")
+	b.WriteString("cores share a banked finite L2 and run in cycle-lockstep; IPC aggregates all cores.\n")
+	return b.String()
+}

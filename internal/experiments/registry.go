@@ -16,14 +16,16 @@ import (
 // is what lets a batch runner fan the points out over a worker pool and a
 // result cache share overlapping points between experiments.
 type Plan struct {
-	Specs []sim.Spec
-	SMT   []sim.SMTSpec
+	Specs     []sim.Spec
+	SMT       []sim.SMTSpec
+	Multicore []sim.MulticoreSpec
 
 	// Reduce folds results — runs[i] corresponds to Specs[i], smt[i] to
-	// SMT[i] — into the experiment's result value (Table2, NRRSweep, ...).
-	// It also replays the per-point Options.Progress lines, in the
-	// deterministic spec order, regardless of completion order.
-	Reduce func(runs []sim.Result, smt []sim.SMTResult) (any, error)
+	// SMT[i], mc[i] to Multicore[i] — into the experiment's result value
+	// (Table2, NRRSweep, ...). It also replays the per-point
+	// Options.Progress lines, in the deterministic spec order, regardless
+	// of completion order.
+	Reduce func(runs []sim.Result, smt []sim.SMTResult, mc []sim.MulticoreResult) (any, error)
 }
 
 // Runner executes the simulation points of a plan. *engine.Engine is the
@@ -31,6 +33,7 @@ type Plan struct {
 type Runner interface {
 	RunBatch(ctx context.Context, specs []sim.Spec) ([]sim.Result, error)
 	RunSMTBatch(ctx context.Context, specs []sim.SMTSpec) ([]sim.SMTResult, error)
+	RunMulticoreBatch(ctx context.Context, specs []sim.MulticoreSpec) ([]sim.MulticoreResult, error)
 }
 
 // Experiment is one named, enumerable study: every table and figure of the
@@ -73,7 +76,14 @@ func (e Experiment) Run(ctx context.Context, r Runner, opts Options) (any, error
 			return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
 		}
 	}
-	return plan.Reduce(runs, smt)
+	var mc []sim.MulticoreResult
+	if len(plan.Multicore) > 0 {
+		mc, err = r.RunMulticoreBatch(ctx, plan.Multicore)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
+		}
+	}
+	return plan.Reduce(runs, smt, mc)
 }
 
 // registry lists every experiment in the paper's reporting order; the
@@ -163,6 +173,13 @@ var registry = []Experiment{
 		Build:      func(opts Options) (Plan, error) { return fetchPolicyPlan(nil, withSMTDefaultWorkloads(opts)) },
 		Render:     func(v any) string { return RenderFetchPolicy(v.([]FetchPolicyRow)) },
 	},
+	{
+		Name:       "multicore",
+		Title:      "multi-core scaling over the banked shared L2",
+		Reproduces: "repository study: cores × register-pool scheme behind internal/mem's shared L2 (ROADMAP's multi-core sharding axis); defaults to a representative workload subset",
+		Build:      func(opts Options) (Plan, error) { return multicorePlan(withMulticoreDefaultWorkloads(opts)) },
+		Render:     func(v any) string { return RenderMulticore(v.([]MulticoreRow)) },
+	},
 }
 
 // Registry returns the experiments in reporting order.
@@ -212,5 +229,12 @@ func runPlan(plan Plan, err error) (any, error) {
 			return nil, err
 		}
 	}
-	return plan.Reduce(runs, smt)
+	var mc []sim.MulticoreResult
+	if len(plan.Multicore) > 0 {
+		mc, err = eng.RunMulticoreBatch(ctx, plan.Multicore)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan.Reduce(runs, smt, mc)
 }

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "fig4", "fig5", "fig6", "fig7",
 		"ablation-release", "ablation-disamb", "ablation-recovery", "ablation-nrr-split",
-		"smt", "lifetime", "smt-fetch",
+		"smt", "lifetime", "smt-fetch", "multicore",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry names = %v, want %v", got, want)
@@ -110,7 +110,7 @@ func TestPlanBuildingIsPure(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		if len(plan.Specs)+len(plan.SMT) == 0 {
+		if len(plan.Specs)+len(plan.SMT)+len(plan.Multicore) == 0 {
 			t.Errorf("%s: empty plan", e.Name)
 		}
 	}

@@ -62,7 +62,7 @@ func smtScalingPlan(threadCounts []int, opts Options) (Plan, error) {
 				smtPointSpec(name, core.SchemeVPWriteback, n, opts))
 		}
 	}
-	reduce := func(_ []sim.Result, smt []sim.SMTResult) (any, error) {
+	reduce := func(_ []sim.Result, smt []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []SMTRow
 		k := 0
 		for _, name := range names {
@@ -169,7 +169,7 @@ func lifetimePlan(opts Options) (Plan, error) {
 			specs = append(specs, point(name, baseConfig(scheme, physRegs, nrr), opts.instr()))
 		}
 	}
-	reduce := func(runs []sim.Result, _ []sim.SMTResult) (any, error) {
+	reduce := func(runs []sim.Result, _ []sim.SMTResult, _ []sim.MulticoreResult) (any, error) {
 		var rows []LifetimeRow
 		k := 0
 		for _, name := range names {

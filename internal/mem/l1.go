@@ -1,0 +1,241 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// L1Config sizes one core's lockup-free L1; the fields are the L1 subset
+// of cache.Config and L1FromCacheConfig carries a pipeline configuration
+// over.
+type L1Config struct {
+	SizeBytes        int
+	LineBytes        int
+	HitLatency       int
+	MissPenalty      int // cycles beyond HitLatency when there is no next level
+	MSHRs            int
+	BusCyclesPerLine int // L1↔L2 bus occupancy per line transfer
+}
+
+// L1FromCacheConfig extracts the L1 geometry of a cache.Config (the L2
+// fields, if set, are superseded by the System's shared BankedL2).
+func L1FromCacheConfig(c cache.Config) L1Config {
+	return L1Config{
+		SizeBytes:        c.SizeBytes,
+		LineBytes:        c.LineBytes,
+		HitLatency:       c.HitLatency,
+		MissPenalty:      c.MissPenalty,
+		MSHRs:            c.MSHRs,
+		BusCyclesPerLine: c.BusCyclesPerLine,
+	}
+}
+
+// Validate rejects geometries the model cannot index.
+func (c L1Config) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: L1 line size %d not a power of two", c.LineBytes)
+	case c.SizeBytes <= 0 || c.SizeBytes%c.LineBytes != 0:
+		return fmt.Errorf("mem: L1 size %d not a positive multiple of the line size", c.SizeBytes)
+	case (c.SizeBytes/c.LineBytes)&(c.SizeBytes/c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: L1 line count %d not a power of two", c.SizeBytes/c.LineBytes)
+	case c.HitLatency < 0 || c.MissPenalty < 0 || c.MSHRs <= 0 || c.BusCyclesPerLine < 0:
+		return fmt.Errorf("mem: bad L1 latencies/MSHRs (%+v)", c)
+	}
+	return nil
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+}
+
+type mshr struct {
+	busy      bool
+	lineAddr  uint64
+	readyAt   int64
+	markDirty bool // a write merged into the pending refill
+}
+
+// L1 is one core's direct-mapped lockup-free data cache: a line-for-line
+// port of cache.Cache with the next level abstracted behind a *BankedL2
+// (nil models the paper's infinite L2: every miss costs MissPenalty).
+// When the L1 is a port of a multi-core System, base namespaces the
+// core's addresses so cores never alias each other's lines in the shared
+// L2.
+type L1 struct {
+	cfg       L1Config
+	base      uint64
+	next      *BankedL2
+	lines     []line
+	mshrs     []mshr
+	busFreeAt int64
+	lineShift uint
+	now       int64
+
+	st Stats
+}
+
+// NewL1 builds a private L1 over next (nil = infinite next level).
+func NewL1(cfg L1Config, next *BankedL2) (*L1, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next != nil && next.lineBytes != cfg.LineBytes {
+		return nil, fmt.Errorf("mem: L1 line size %d != L2 line size %d", cfg.LineBytes, next.lineBytes)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &L1{
+		cfg:       cfg,
+		next:      next,
+		lines:     make([]line, cfg.SizeBytes/cfg.LineBytes),
+		mshrs:     make([]mshr, cfg.MSHRs),
+		lineShift: shift,
+	}, nil
+}
+
+// Config returns the configuration the L1 was built with.
+func (l *L1) Config() L1Config { return l.cfg }
+
+func (l *L1) index(lineAddr uint64) int { return int(lineAddr) & (len(l.lines) - 1) }
+
+// drain installs every refill that has completed by cycle now. Time must
+// not go backwards: a non-monotonic cycle number is a simulator bug that
+// would silently corrupt refill state, so it is asserted here exactly as
+// in cache.Cache.
+func (l *L1) drain(now int64) {
+	if now < l.now {
+		panic(fmt.Sprintf("mem: time went backwards (%d after %d)", now, l.now))
+	}
+	l.now = now
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if m.busy && m.readyAt <= now {
+			ln := &l.lines[l.index(m.lineAddr)]
+			ln.valid = true
+			ln.tag = m.lineAddr
+			ln.dirty = m.markDirty
+			m.busy = false
+		}
+	}
+}
+
+// Drain implements Memory.
+func (l *L1) Drain(now int64) { l.drain(now) }
+
+// Access performs a load (write=false) or store (write=true) of the word
+// at addr; ok=false means every MSHR was busy and the caller must retry.
+// The control flow mirrors cache.Access exactly — hit, secondary-miss
+// merge, MSHR allocation, dirty-victim write-back, then the refill
+// schedule — with the next-level penalty and bank-bus floor supplied by
+// the shared L2 instead of a constant.
+func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
+	l.drain(now)
+	l.st.Accesses++
+	addr += l.base
+	la := addr >> l.lineShift
+	ln := &l.lines[l.index(la)]
+
+	if ln.valid && ln.tag == la {
+		l.st.Hits++
+		if write {
+			ln.dirty = true
+		}
+		return cache.Outcome{Hit: true, ReadyAt: now + int64(l.cfg.HitLatency)}, true
+	}
+
+	// Secondary miss: the line is already on its way.
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if m.busy && m.lineAddr == la {
+			l.st.Merges++
+			if write {
+				m.markDirty = true
+			}
+			return cache.Outcome{Merged: true, ReadyAt: m.readyAt}, true
+		}
+	}
+
+	// Primary miss: allocate an MSHR.
+	slot := -1
+	inFlight := 0
+	for i := range l.mshrs {
+		if l.mshrs[i].busy {
+			inFlight++
+		} else if slot < 0 {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		l.st.MSHRStalls++
+		return cache.Outcome{}, false
+	}
+	l.st.Misses++
+	if inFlight+1 > l.st.PeakInFlight {
+		l.st.PeakInFlight = inFlight + 1
+	}
+
+	// A dirty victim occupies the L1↔L2 bus for one line transfer and
+	// lands in the (inclusive) L2.
+	if ln.valid && ln.dirty {
+		l.st.Evictions++
+		if l.busFreeAt < now {
+			l.busFreeAt = now
+		}
+		l.busFreeAt += int64(l.cfg.BusCyclesPerLine)
+		ln.dirty = false
+		if l.next != nil {
+			l.next.WriteBack(now, ln.tag)
+		}
+	}
+
+	// The next level prices the refill: a constant MissPenalty with no L2
+	// attached (the paper's infinite L2), otherwise the shared L2's
+	// hit/miss penalty plus a floor from its bank-bus occupancy. Memory
+	// latency and bus transfer overlap except for the final line beat, so
+	// the refill completes no earlier than each of (penalty after the
+	// request), (L1 bus free + one transfer) and (bank bus free).
+	penalty := l.cfg.MissPenalty
+	floor := now
+	if l.next != nil {
+		penalty, floor = l.next.Fetch(now, la)
+	}
+	ready := now + int64(l.cfg.HitLatency+penalty)
+	if b := l.busFreeAt + int64(l.cfg.BusCyclesPerLine); b > ready {
+		ready = b
+	}
+	if floor > ready {
+		ready = floor
+	}
+	l.busFreeAt = ready
+	l.mshrs[slot] = mshr{busy: true, lineAddr: la, readyAt: ready, markDirty: write}
+	return cache.Outcome{ReadyAt: ready}, true
+}
+
+// Probe reports whether addr currently hits, without side effects (tests
+// and debugging; pending refills are not installed).
+func (l *L1) Probe(addr uint64) bool {
+	la := (addr + l.base) >> l.lineShift
+	ln := l.lines[l.index(la)]
+	return ln.valid && ln.tag == la
+}
+
+// InFlight returns the number of busy MSHRs as of the last drained cycle.
+func (l *L1) InFlight() int {
+	n := 0
+	for i := range l.mshrs {
+		if l.mshrs[i].busy {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats implements Memory. An L1 port of a System reports only its own
+// counters; the shared L2's live on System.L2().
+func (l *L1) Stats() Stats { return l.st }

@@ -1,0 +1,235 @@
+package mem
+
+import "fmt"
+
+// L2Config sizes the banked, finite, shared L2. It subsumes the old
+// cache.Config L2Enabled tag-array approximation: with Banks=1,
+// BankBusCycles=0, HitPenalty equal to the L1's MissPenalty and
+// MissPenalty equal to the old L2MissPenalty, the timing is cycle-exact
+// with that mode (a differential test pins this).
+type L2Config struct {
+	// Enabled gates the shared-L2 path of a multi-core configuration;
+	// disabled, every core keeps a private L1 over an infinite L2 (the
+	// paper's machine).
+	Enabled bool
+
+	SizeBytes int
+	Banks     int // lines are interleaved across banks by line address
+
+	// HitPenalty is the cost (beyond the L1 hit latency) of an L1 miss
+	// that hits the L2; MissPenalty the cost of missing both levels.
+	HitPenalty  int
+	MissPenalty int
+
+	// BankBusCycles is how long each line transfer (refill or write-back)
+	// occupies the bank's bus; concurrent cores touching the same bank
+	// queue behind each other. 0 disables conflict modelling.
+	BankBusCycles int
+}
+
+// DefaultL2Config is a 256 KB, 4-bank shared L2: L2 hits cost 20 cycles
+// (the paper's fast-memory footnote), misses 100, and each line transfer
+// holds a bank's bus for 4 cycles as on the L1 bus.
+func DefaultL2Config() L2Config {
+	return L2Config{
+		Enabled:       true,
+		SizeBytes:     256 * 1024,
+		Banks:         4,
+		HitPenalty:    20,
+		MissPenalty:   100,
+		BankBusCycles: 4,
+	}
+}
+
+// validate checks the L2 against the line size it must interleave.
+func (c L2Config) validate(lineBytes int) error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("mem: L2 needs at least one bank, have %d", c.Banks)
+	case c.SizeBytes <= 0 || c.SizeBytes%(lineBytes*c.Banks) != 0:
+		return fmt.Errorf("mem: L2 size %d not a positive multiple of %d banks × %dB lines",
+			c.SizeBytes, c.Banks, lineBytes)
+	case c.HitPenalty < 0 || c.MissPenalty < c.HitPenalty:
+		return fmt.Errorf("mem: L2 miss penalty %d below hit penalty %d", c.MissPenalty, c.HitPenalty)
+	case c.BankBusCycles < 0:
+		return fmt.Errorf("mem: negative L2 bank bus cycles")
+	}
+	return nil
+}
+
+// refill tracks one line on its way from memory into the L2 — the
+// MSHR-style merge window: another core fetching the same line before
+// readyAt joins the in-flight refill instead of paying a second full
+// miss.
+type refill struct {
+	lineAddr uint64
+	readyAt  int64
+}
+
+type bank struct {
+	tags      []uint64 // tag per set, +1 (0 = invalid); direct-mapped
+	busFreeAt int64
+	inflight  []refill
+}
+
+// BankedL2 is the finite shared L2: direct-mapped tags interleaved across
+// banks by line address, a per-bank bus whose occupancy delays concurrent
+// refills, and per-bank in-flight refill tracking that merges same-line
+// fetches from different cores. It is driven by the L1s in front of it
+// and works entirely in line-address space.
+//
+// The L2 is not internally synchronized: the multi-core runner steps
+// cores in cycle-lockstep on one goroutine, which is also what makes the
+// shared state deterministic.
+type BankedL2 struct {
+	cfg       L2Config
+	lineBytes int
+	coreShift uint // CoreAddrShift in line-address space
+	banks     []bank
+	now       int64
+
+	// Statistics.
+	Fetches    int64
+	Hits       int64
+	Misses     int64
+	Merges     int64
+	WriteBacks int64
+	Conflicts  int64 // transfers that found their bank's bus busy
+}
+
+// NewBankedL2 builds the shared L2 for the given L1 line size.
+func NewBankedL2(cfg L2Config, lineBytes int) (*BankedL2, error) {
+	if err := cfg.validate(lineBytes); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / lineBytes / cfg.Banks
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	l2 := &BankedL2{
+		cfg:       cfg,
+		lineBytes: lineBytes,
+		coreShift: CoreAddrShift - shift,
+		banks:     make([]bank, cfg.Banks),
+	}
+	for i := range l2.banks {
+		l2.banks[i].tags = make([]uint64, sets)
+	}
+	return l2, nil
+}
+
+// Config returns the configuration the L2 was built with.
+func (c *BankedL2) Config() L2Config { return c.cfg }
+
+// bankOf maps a line onto its bank and direct-mapped set. Core-namespace
+// bits (>= CoreAddrShift) sit far above the index bits, so they are
+// hashed back down before indexing — without this, cores running
+// identical workloads in lockstep would land in the same bank+set and
+// evict each other's lines on every fetch. Namespace-free addresses
+// (single core, base-0 L1s, and therefore the cache.Config L2Enabled
+// equivalence) index exactly as a plain modulo. Tags always compare the
+// full line address, so the hash can never cause a false hit.
+func (c *BankedL2) bankOf(lineAddr uint64) (*bank, *uint64) {
+	h := lineAddr
+	if hi := lineAddr >> c.coreShift; hi != 0 {
+		h ^= hi * 0x9e3779b97f4a7c15
+	}
+	b := &c.banks[h%uint64(len(c.banks))]
+	set := h / uint64(len(c.banks)) % uint64(len(b.tags))
+	return b, &b.tags[set]
+}
+
+// advance asserts lockstep monotonicity (cores present non-decreasing
+// cycles) and expires completed refills of the touched bank.
+func (c *BankedL2) advance(b *bank, now int64) {
+	if now < c.now {
+		panic(fmt.Sprintf("mem: L2 time went backwards (%d after %d)", now, c.now))
+	}
+	c.now = now
+	keep := b.inflight[:0]
+	for _, r := range b.inflight {
+		if r.readyAt > now {
+			keep = append(keep, r)
+		}
+	}
+	b.inflight = keep
+}
+
+// reserveBus claims one line transfer on the bank's bus and returns the
+// cycle the transfer completes — the floor below which the requesting
+// L1's refill cannot finish.
+func (c *BankedL2) reserveBus(b *bank, now int64) int64 {
+	if c.cfg.BankBusCycles == 0 {
+		return now
+	}
+	if b.busFreeAt > now {
+		c.Conflicts++
+	} else {
+		b.busFreeAt = now
+	}
+	b.busFreeAt += int64(c.cfg.BankBusCycles)
+	return b.busFreeAt
+}
+
+// Fetch requests a line on behalf of an L1 miss: it returns the penalty
+// (beyond the L1 hit latency) and a completion floor from the bank bus /
+// in-flight merge. Tags install immediately (the inclusive-refill
+// approximation the old cache.Config L2 mode used); the in-flight list
+// only widens the merge window for other cores.
+func (c *BankedL2) Fetch(now int64, lineAddr uint64) (penalty int, floor int64) {
+	b, tag := c.bankOf(lineAddr)
+	c.advance(b, now)
+	c.Fetches++
+	for _, r := range b.inflight {
+		if r.lineAddr == lineAddr {
+			c.Merges++
+			f := c.reserveBus(b, now)
+			if r.readyAt > f {
+				f = r.readyAt
+			}
+			return c.cfg.HitPenalty, f
+		}
+	}
+	penalty = c.cfg.HitPenalty
+	if *tag == lineAddr+1 {
+		c.Hits++
+	} else {
+		c.Misses++
+		penalty = c.cfg.MissPenalty
+		*tag = lineAddr + 1
+		b.inflight = append(b.inflight, refill{lineAddr: lineAddr, readyAt: now + int64(penalty)})
+	}
+	return penalty, c.reserveBus(b, now)
+}
+
+// WriteBack lands a dirty L1 victim in the L2, occupying the bank's bus
+// for one line transfer.
+func (c *BankedL2) WriteBack(now int64, lineAddr uint64) {
+	b, tag := c.bankOf(lineAddr)
+	c.advance(b, now)
+	c.WriteBacks++
+	*tag = lineAddr + 1
+	c.reserveBus(b, now)
+}
+
+// Stats reports the shared counters in Memory's stats shape (L1 fields
+// zero). Aggregate them once per System, not per port.
+func (c *BankedL2) Stats() Stats {
+	return Stats{
+		L2Fetches:    c.Fetches,
+		L2Hits:       c.Hits,
+		L2Misses:     c.Misses,
+		L2Merges:     c.Merges,
+		L2WriteBacks: c.WriteBacks,
+		L2Conflicts:  c.Conflicts,
+	}
+}
+
+// MissRatio returns L2 misses per fetch.
+func (c *BankedL2) MissRatio() float64 {
+	if c.Fetches == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Fetches)
+}

@@ -1,0 +1,106 @@
+// Package mem is the shared memory hierarchy extracted from internal/cache
+// and the pipeline: a Memory interface the pipeline drives one port of,
+// per-core lockup-free L1 caches (L1), a banked finite shared L2 with
+// per-bank bus occupancy and MSHR-style refill tracking (BankedL2), and a
+// System that wires N L1 ports over one shared L2 for the multi-core
+// runner.
+//
+// The paper's own configuration — one core, lockup-free L1 over an
+// infinite L2 — stays on internal/cache as the single-core fast path;
+// Single adapts it to the Memory interface so the pipeline is agnostic.
+// The L1 here is a line-for-line port of cache.Cache with the next level
+// abstracted, and a differential test pins the two against each other on
+// randomized access streams.
+package mem
+
+import "repro/internal/cache"
+
+// Memory is one port into the memory hierarchy, as seen by a core's
+// execute stage. Access performs a load or store at the given cycle;
+// Drain installs every refill completed by the given cycle (accesses
+// drain lazily, so calling it is only needed to settle state for
+// inspection); Stats snapshots the counters.
+//
+// Callers must present non-decreasing cycle numbers; implementations
+// panic on time going backwards rather than silently corrupting refill
+// state.
+type Memory interface {
+	Access(now int64, addr uint64, write bool) (cache.Outcome, bool)
+	Drain(now int64)
+	Stats() Stats
+}
+
+// Stats are the counters a Memory accumulates. The L1 fields mirror
+// cache.Cache's; the L2 fields describe the next level — the private
+// finite L2 of the single-core fast path, or a core's share of the banked
+// shared L2 (zero on L1 ports of a System: the shared counters are
+// reported once, by the System, so aggregates never double-count).
+type Stats struct {
+	// L1.
+	Accesses     int64
+	Hits         int64
+	Misses       int64 // primary misses (MSHR allocations)
+	Merges       int64 // secondary misses folded into an MSHR
+	MSHRStalls   int64 // accesses rejected because every MSHR was busy
+	Evictions    int64 // dirty lines written back
+	PeakInFlight int
+
+	// L2.
+	L2Fetches    int64
+	L2Hits       int64
+	L2Misses     int64
+	L2Merges     int64 // fetches folded into an in-flight refill (cross-core)
+	L2WriteBacks int64
+	L2Conflicts  int64 // fetches/write-backs that found the bank bus busy
+}
+
+// Add accumulates other into s (PeakInFlight takes the maximum).
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Merges += other.Merges
+	s.MSHRStalls += other.MSHRStalls
+	s.Evictions += other.Evictions
+	if other.PeakInFlight > s.PeakInFlight {
+		s.PeakInFlight = other.PeakInFlight
+	}
+	s.L2Fetches += other.L2Fetches
+	s.L2Hits += other.L2Hits
+	s.L2Misses += other.L2Misses
+	s.L2Merges += other.L2Merges
+	s.L2WriteBacks += other.L2WriteBacks
+	s.L2Conflicts += other.L2Conflicts
+}
+
+// Single adapts the original single-core cache.Cache (infinite L2, or the
+// private finite-L2 tag-array approximation) to the Memory interface —
+// the paper's configuration and the default fast path.
+type Single struct{ C *cache.Cache }
+
+// NewSingle wraps an existing cache.
+func NewSingle(c *cache.Cache) Single { return Single{C: c} }
+
+// Access implements Memory.
+func (s Single) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
+	return s.C.Access(now, addr, write)
+}
+
+// Drain implements Memory.
+func (s Single) Drain(now int64) { s.C.Drain(now) }
+
+// Stats implements Memory.
+func (s Single) Stats() Stats {
+	return Stats{
+		Accesses:     s.C.Accesses,
+		Hits:         s.C.Hits,
+		Misses:       s.C.Misses,
+		Merges:       s.C.Merges,
+		MSHRStalls:   s.C.MSHRStalls,
+		Evictions:    s.C.Evictions,
+		PeakInFlight: s.C.PeakInFlight,
+		L2Fetches:    s.C.L2Hits + s.C.L2Misses,
+		L2Hits:       s.C.L2Hits,
+		L2Misses:     s.C.L2Misses,
+	}
+}

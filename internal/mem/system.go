@@ -1,0 +1,68 @@
+package mem
+
+import "fmt"
+
+// CoreAddrShift namespaces each core's addresses in the shared L2: cores
+// run identical virtual address spaces (same workloads, same traces), so
+// without an offset they would alias each other's lines. The shift sits
+// above the pipeline's per-thread namespace (threadAddrShift = 44).
+const CoreAddrShift = 48
+
+// System is the multi-core shared memory hierarchy: one lockup-free L1
+// per core in front of a single banked finite L2. Ports are not
+// internally synchronized — the multi-core runner steps cores in
+// cycle-lockstep on one goroutine, which keeps the shared L2 state
+// deterministic.
+type System struct {
+	l2  *BankedL2
+	l1s []*L1
+}
+
+// NewSystem builds the hierarchy for the given number of cores. With
+// sharedAddr false each core's addresses are namespaced (cores model
+// private memories and never alias, the multi-programmed default); with
+// sharedAddr true all cores address one space, so identical accesses hit
+// the same L2 lines and in-flight refills merge across cores — the
+// shared-data scenario, and the precondition for the ROADMAP's coherence
+// work.
+func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr bool) (*System, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("mem: need at least one core, have %d", cores)
+	}
+	shared, err := NewBankedL2(l2, l1.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{l2: shared}
+	for i := 0; i < cores; i++ {
+		p, err := NewL1(l1, shared)
+		if err != nil {
+			return nil, err
+		}
+		if !sharedAddr {
+			p.base = uint64(i) << CoreAddrShift
+		}
+		s.l1s = append(s.l1s, p)
+	}
+	return s, nil
+}
+
+// Cores returns the number of L1 ports.
+func (s *System) Cores() int { return len(s.l1s) }
+
+// Port returns core i's L1 — the Memory a core's pipeline drives.
+func (s *System) Port(i int) *L1 { return s.l1s[i] }
+
+// L2 exposes the shared level for statistics collection.
+func (s *System) L2() *BankedL2 { return s.l2 }
+
+// Stats aggregates every port's L1 counters plus the shared L2's, counted
+// once.
+func (s *System) Stats() Stats {
+	var st Stats
+	for _, p := range s.l1s {
+		st.Add(p.Stats())
+	}
+	st.Add(s.l2.Stats())
+	return st
+}

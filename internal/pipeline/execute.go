@@ -25,7 +25,7 @@ func (s *Sim) executeStage(now int64) error {
 	// stalls, no register is ever freed, and the machine livelocks —
 	// the §3.3 progress argument needs committed stores to retire.
 	if s.sbN > 0 {
-		if _, ok := s.dcache.Access(now, s.sbFront(), true); ok {
+		if _, ok := s.dmem.Access(now, s.sbFront(), true); ok {
 			s.sbPopFront()
 			ports--
 		}
@@ -80,7 +80,7 @@ func (s *Sim) executeStage(now int64) error {
 	}
 	// Post-commit stores drain through the remaining cache ports.
 	for ports > 0 && s.sbN > 0 {
-		if _, ok := s.dcache.Access(now, s.sbFront(), true); !ok {
+		if _, ok := s.dmem.Access(now, s.sbFront(), true); !ok {
 			break // all MSHRs busy; retry next cycle
 		}
 		s.sbPopFront()
@@ -136,7 +136,7 @@ func (s *Sim) tryLoad(th *thread, e *robEntry, now int64, ports *int) error {
 	if *ports == 0 {
 		return nil
 	}
-	out, ok := s.dcache.Access(now, th.addr(e.rec.EA), false)
+	out, ok := s.dmem.Access(now, th.addr(e.rec.EA), false)
 	if !ok {
 		return nil // MSHRs exhausted; retry
 	}

@@ -1,0 +1,226 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MulticoreConfig describes a multi-core machine: N identical cores, each
+// a full single-thread pipeline (Core), optionally sharing a banked
+// finite L2 (L2.Enabled). With the shared L2 disabled every core keeps
+// its private Core.Cache hierarchy — with one core that is exactly the
+// paper's machine, and Multicore produces byte-identical statistics to
+// Sim.
+type MulticoreConfig struct {
+	Cores int
+	Core  Config
+	L2    mem.L2Config
+
+	// SharedAddressSpace puts every core in one address space instead of
+	// namespacing them (mem.CoreAddrShift): cores touching the same
+	// addresses then share L2 lines and merge into each other's in-flight
+	// refills — the shared-data scenario. The default (false) models
+	// private memories: no aliasing, no sharing.
+	SharedAddressSpace bool
+}
+
+// DefaultMulticoreConfig is n copies of the paper's core over the default
+// banked shared L2.
+func DefaultMulticoreConfig(n int) MulticoreConfig {
+	return MulticoreConfig{Cores: n, Core: DefaultConfig(), L2: mem.DefaultL2Config()}
+}
+
+// Validate rejects configurations the runner cannot honour.
+func (c MulticoreConfig) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("pipeline: need at least one core, have %d", c.Cores)
+	}
+	if c.L2.Enabled && c.Core.Cache.L2Enabled {
+		return fmt.Errorf("pipeline: shared L2 and the private cache.Config L2 approximation are mutually exclusive")
+	}
+	return c.Core.Validate()
+}
+
+// Multicore steps N single-thread Sims in cycle-lockstep against a shared
+// memory hierarchy. Within a cycle the cores run in index order, which —
+// together with the lockstep — makes the shared L2 state, and therefore
+// every statistic, deterministic and independent of host parallelism.
+// (Engine-level sharding across host threads happens between independent
+// Multicore runs, never inside one.)
+type Multicore struct {
+	cfg   MulticoreConfig
+	cores []*Sim
+	sys   *mem.System // nil when the shared L2 is disabled
+
+	wallNanos int64
+}
+
+// NewMulticore builds the machine, one trace generator per core.
+func NewMulticore(cfg MulticoreConfig, gens []trace.Generator) (*Multicore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) != cfg.Cores {
+		return nil, fmt.Errorf("pipeline: %d cores need %d traces, have %d", cfg.Cores, cfg.Cores, len(gens))
+	}
+	m := &Multicore{cfg: cfg}
+	if cfg.L2.Enabled {
+		sys, err := mem.NewSystem(mem.L1FromCacheConfig(cfg.Core.Cache), cfg.L2, cfg.Cores, cfg.SharedAddressSpace)
+		if err != nil {
+			return nil, err
+		}
+		m.sys = sys
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		var port Memory
+		if m.sys != nil {
+			port = m.sys.Port(i)
+		} else {
+			port = mem.NewSingle(cache.New(cfg.Core.Cache))
+		}
+		core, err := newSMTMem(cfg.Core, []trace.Generator{gens[i]}, false, port)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: core %d: %w", i, err)
+		}
+		m.cores = append(m.cores, core)
+	}
+	return m, nil
+}
+
+// Cores returns the number of cores.
+func (m *Multicore) Cores() int { return len(m.cores) }
+
+// Core exposes one core's simulator (probes, renamer statistics).
+func (m *Multicore) Core(i int) *Sim { return m.cores[i] }
+
+// System exposes the shared memory hierarchy (nil when the shared L2 is
+// disabled).
+func (m *Multicore) System() *mem.System { return m.sys }
+
+// Done reports whether every core has drained its trace.
+func (m *Multicore) Done() bool {
+	for _, c := range m.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// CoreStats snapshots one core's statistics (local L1 counters; the
+// shared L2's appear once, in Aggregate).
+func (m *Multicore) CoreStats(i int) Stats { return m.cores[i].Stats() }
+
+// Run advances every core until all traces drain or each core commits
+// maxCommitsPerCore instructions, and returns the aggregate statistics.
+func (m *Multicore) Run(maxCommitsPerCore int64) (Stats, error) {
+	return m.RunContext(context.Background(), maxCommitsPerCore)
+}
+
+// RunContext is Run under a context: cancellation stops the lockstep loop
+// between cycles and surfaces ctx.Err().
+func (m *Multicore) RunContext(ctx context.Context, maxCommitsPerCore int64) (Stats, error) {
+	start := time.Now()
+	err := m.runLoop(ctx, maxCommitsPerCore)
+	m.wallNanos += time.Since(start).Nanoseconds()
+	return m.Aggregate(), err
+}
+
+func (m *Multicore) runLoop(ctx context.Context, maxCommitsPerCore int64) error {
+	sinceCheck := 0
+	for {
+		if sinceCheck++; sinceCheck >= ctxCheckCycles {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		active := false
+		for i, c := range m.cores {
+			if c.Done() || (maxCommitsPerCore > 0 && c.stats.Committed >= maxCommitsPerCore) {
+				continue
+			}
+			active = true
+			if err := c.Step(); err != nil {
+				return fmt.Errorf("pipeline: core %d: %w", i, err)
+			}
+		}
+		if !active {
+			return nil
+		}
+	}
+}
+
+// Aggregate sums the per-core statistics: counters add, cycles and peak
+// occupancies take the maximum, and the shared L2's counters are folded
+// in exactly once. Throughput fields reflect the lockstep loop's host
+// wall-clock.
+func (m *Multicore) Aggregate() Stats {
+	var agg Stats
+	for _, c := range m.cores {
+		addStats(&agg, c.Stats())
+	}
+	if m.sys != nil {
+		l2 := m.sys.L2().Stats()
+		agg.L2Fetches = l2.L2Fetches
+		agg.L2Hits = l2.L2Hits
+		agg.L2Misses = l2.L2Misses
+		agg.L2Merges = l2.L2Merges
+		agg.L2Conflicts = l2.L2Conflicts
+	}
+	agg.WallSeconds, agg.CyclesPerSec, agg.InstrsPerSec = 0, 0, 0
+	if m.wallNanos > 0 {
+		agg.WallSeconds = float64(m.wallNanos) / 1e9
+		agg.CyclesPerSec = float64(agg.Cycles) / agg.WallSeconds
+		agg.InstrsPerSec = float64(agg.Committed) / agg.WallSeconds
+	}
+	return agg
+}
+
+// addStats accumulates one core's statistics into agg: Cycles and the
+// peak-occupancy gauge take the maximum (the cores run in lockstep),
+// everything else adds.
+func addStats(agg *Stats, st Stats) {
+	if st.Cycles > agg.Cycles {
+		agg.Cycles = st.Cycles
+	}
+	agg.Committed += st.Committed
+	agg.Issued += st.Issued
+	agg.Reexecutions += st.Reexecutions
+	agg.IssueBlocks += st.IssueBlocks
+	agg.RenameRegStall += st.RenameRegStall
+	agg.ROBStalls += st.ROBStalls
+	agg.IQStalls += st.IQStalls
+	agg.EarlyReleases += st.EarlyReleases
+	agg.CondBranches += st.CondBranches
+	agg.Mispredicts += st.Mispredicts
+	agg.Loads += st.Loads
+	agg.Stores += st.Stores
+	agg.LoadsForwarded += st.LoadsForwarded
+	agg.MemViolations += st.MemViolations
+	agg.SquashedByMem += st.SquashedByMem
+	agg.CommitSBStalls += st.CommitSBStalls
+	agg.CacheAccesses += st.CacheAccesses
+	agg.CacheMisses += st.CacheMisses
+	agg.CacheMergedMiss += st.CacheMergedMiss
+	agg.MSHRStallCycles += st.MSHRStallCycles
+	if st.PeakMSHRs > agg.PeakMSHRs {
+		agg.PeakMSHRs = st.PeakMSHRs
+	}
+	agg.L2Fetches += st.L2Fetches
+	agg.L2Hits += st.L2Hits
+	agg.L2Misses += st.L2Misses
+	agg.L2Merges += st.L2Merges
+	agg.L2Conflicts += st.L2Conflicts
+	agg.ROBOccupancySum += st.ROBOccupancySum
+	agg.IQOccupancySum += st.IQOccupancySum
+	agg.IntRegsInUseSum += st.IntRegsInUseSum
+	agg.FPRegsInUseSum += st.FPRegsInUseSum
+	agg.RegLifetimeSum += st.RegLifetimeSum
+	agg.RegsFreed += st.RegsFreed
+}

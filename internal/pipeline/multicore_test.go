@@ -1,0 +1,240 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/mem"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestMulticoreSingleCoreByteIdentical is the acceptance criterion: a
+// 1-core Multicore with the shared L2 disabled is the paper's machine,
+// and must produce byte-identical statistics to the plain Sim on the same
+// trace.
+func TestMulticoreSingleCoreByteIdentical(t *testing.T) {
+	prog := randProgram(rand.New(rand.NewSource(7)), 60, 40)
+	cfg := DefaultConfig()
+	cfg.ValueCheck = true
+
+	gen, err := emu.NewTraceGen(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen2, err := emu.NewTraceGen(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMulticore(MulticoreConfig{Cores: 1, Core: cfg}, []trace.Generator{gen2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := mc.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Arch() != want.Arch() {
+		t.Errorf("1-core Multicore diverges from Sim:\n mc  %+v\n sim %+v", agg.Arch(), want.Arch())
+	}
+	if core := mc.CoreStats(0); core.Arch() != want.Arch() {
+		t.Errorf("core-0 stats diverge from Sim:\n mc  %+v\n sim %+v", core.Arch(), want.Arch())
+	}
+	if !mc.Done() {
+		t.Error("multicore not drained")
+	}
+}
+
+// TestMulticoreMatchesPrivateL2Mode: the internal/mem single-core path —
+// an L1 over a 1-bank BankedL2 with the bank bus disabled — is
+// cycle-exact with the old cache.Config L2Enabled tag-array mode it
+// subsumes, across randomized synthetic workloads.
+func TestMulticoreMatchesPrivateL2Mode(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, params := range []synth.Params{synth.Defaults(), synth.FPStream()} {
+			params.Seed = seed
+			name := fmt.Sprintf("seed%d-miss%.2f", seed, params.MissRatio)
+			t.Run(name, func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.ValueCheck = false // synthetic traces carry no values
+
+				oldCfg := cfg
+				oldCfg.Cache.L2Enabled = true
+				oldCfg.Cache.L2SizeBytes = 64 * 1024
+				oldCfg.Cache.L2MissPenalty = 100
+				oldSim, err := New(oldCfg, trace.Take(synth.New(params), 30_000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := oldSim.Run(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				mc, err := NewMulticore(MulticoreConfig{
+					Cores: 1,
+					Core:  cfg,
+					L2: mem.L2Config{
+						Enabled:       true,
+						SizeBytes:     64 * 1024,
+						Banks:         1,
+						HitPenalty:    cfg.Cache.MissPenalty,
+						MissPenalty:   100,
+						BankBusCycles: 0,
+					},
+				}, []trace.Generator{trace.Take(synth.New(params), 30_000)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := mc.Run(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Arch() != want.Arch() {
+					t.Errorf("mem path diverges from L2Enabled mode:\n mem %+v\n old %+v", got.Arch(), want.Arch())
+				}
+			})
+		}
+	}
+}
+
+// TestMulticoreDeterministic: a shared-L2 multi-core run is bit-identical
+// run to run — the lockstep stepping order is the only ordering.
+func TestMulticoreDeterministic(t *testing.T) {
+	run := func() Stats {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.ValueCheck = false
+		gens := make([]trace.Generator, 3)
+		for i := range gens {
+			p := synth.Defaults()
+			p.Seed = int64(10 + i)
+			gens[i] = trace.Take(synth.New(p), 10_000)
+		}
+		mc, err := NewMulticore(MulticoreConfig{Cores: 3, Core: cfg, L2: mem.DefaultL2Config()}, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := mc.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Arch() != b.Arch() {
+		t.Errorf("two identical multi-core runs differ:\n%+v\n%+v", a.Arch(), b.Arch())
+	}
+	if a.Committed != 30_000 {
+		t.Errorf("committed %d, want 30000 across 3 cores", a.Committed)
+	}
+	if a.L2Hits+a.L2Misses == 0 {
+		t.Error("shared L2 saw no fetches")
+	}
+}
+
+// TestMulticoreSharedL2Contention: cores contending for the same banks
+// pay for it — with a single slow bank, the same work takes longer than
+// with many fast banks, and the conflicts are counted.
+func TestMulticoreSharedL2Contention(t *testing.T) {
+	run := func(banks, busCycles int) Stats {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.ValueCheck = false
+		gens := make([]trace.Generator, 4)
+		for i := range gens {
+			p := synth.Defaults()
+			p.MissRatio = 0.5 // miss-heavy: the L2 is on the critical path
+			p.Seed = int64(20 + i)
+			gens[i] = trace.Take(synth.New(p), 8_000)
+		}
+		l2 := mem.DefaultL2Config()
+		l2.Banks = banks
+		l2.BankBusCycles = busCycles
+		mc, err := NewMulticore(MulticoreConfig{Cores: 4, Core: cfg, L2: l2}, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := mc.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	contended := run(1, 64)
+	wide := run(8, 1)
+	if contended.L2Conflicts == 0 {
+		t.Fatal("single-bank run recorded no bank conflicts")
+	}
+	if contended.Cycles <= wide.Cycles {
+		t.Errorf("bank contention must cost cycles: 1×slow bank %d cycles vs 8×fast %d",
+			contended.Cycles, wide.Cycles)
+	}
+}
+
+// TestMulticoreSharedAddressSpace: with one address space, cores running
+// the same access pattern share L2 lines — in-flight refills merge across
+// cores and later fetches hit — where the namespaced default sees only
+// cold misses.
+func TestMulticoreSharedAddressSpace(t *testing.T) {
+	run := func(shared bool) Stats {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.ValueCheck = false
+		gens := make([]trace.Generator, 2)
+		for i := range gens {
+			p := synth.Defaults()
+			p.Seed = 5 // identical streams on both cores
+			gens[i] = trace.Take(synth.New(p), 8_000)
+		}
+		mc, err := NewMulticore(MulticoreConfig{
+			Cores: 2, Core: cfg, L2: mem.DefaultL2Config(), SharedAddressSpace: shared,
+		}, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := mc.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	private, sharedSt := run(false), run(true)
+	if private.L2Merges != 0 {
+		t.Errorf("namespaced cores merged %d refills, want 0", private.L2Merges)
+	}
+	if sharedSt.L2Merges == 0 && sharedSt.L2Hits <= private.L2Hits {
+		t.Errorf("shared address space shows no sharing: merges=%d hits=%d (private hits=%d)",
+			sharedSt.L2Merges, sharedSt.L2Hits, private.L2Hits)
+	}
+}
+
+// TestMulticoreConfigValidation: bad machines are rejected up front.
+func TestMulticoreConfigValidation(t *testing.T) {
+	gen := func() trace.Generator { return trace.Take(synth.New(synth.Defaults()), 100) }
+	if _, err := NewMulticore(MulticoreConfig{Cores: 0, Core: DefaultConfig()}, nil); err == nil {
+		t.Error("zero cores must be rejected")
+	}
+	if _, err := NewMulticore(MulticoreConfig{Cores: 2, Core: DefaultConfig()}, []trace.Generator{gen()}); err == nil {
+		t.Error("trace/core count mismatch must be rejected")
+	}
+	bad := DefaultConfig()
+	bad.Cache.L2Enabled = true
+	bad.Cache.L2SizeBytes = 64 * 1024
+	bad.Cache.L2MissPenalty = 100
+	if _, err := NewMulticore(MulticoreConfig{Cores: 1, Core: bad, L2: mem.DefaultL2Config()},
+		[]trace.Generator{gen()}); err == nil {
+		t.Error("private L2 approximation + shared L2 must be rejected")
+	}
+}

@@ -130,7 +130,7 @@ func (s *Sim) executeScan(now int64) error {
 	// The post-commit store buffer gets first claim on one port (see the
 	// event kernel's executeStage for the livelock argument).
 	if s.sbN > 0 {
-		if _, ok := s.dcache.Access(now, s.sbFront(), true); ok {
+		if _, ok := s.dmem.Access(now, s.sbFront(), true); ok {
 			s.sbPopFront()
 			ports--
 		}
@@ -165,7 +165,7 @@ func (s *Sim) executeScan(now int64) error {
 	}
 	// Post-commit stores drain through the remaining cache ports.
 	for ports > 0 && s.sbN > 0 {
-		if _, ok := s.dcache.Access(now, s.sbFront(), true); !ok {
+		if _, ok := s.dmem.Access(now, s.sbFront(), true); !ok {
 			break // all MSHRs busy; retry next cycle
 		}
 		s.sbPopFront()

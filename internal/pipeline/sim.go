@@ -49,8 +49,14 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/trace"
 )
+
+// Memory is the port into the data memory hierarchy a Sim drives: the
+// wrapped single-core cache by default, or one L1 of a shared mem.System
+// under the Multicore runner.
+type Memory = mem.Memory
 
 type state uint8
 
@@ -260,7 +266,7 @@ type Sim struct {
 	threads []*thread
 	pool    *core.SharedPool
 	bht     *bpred.BHT
-	dcache  *cache.Cache
+	dmem    Memory
 
 	cycle int64
 
@@ -327,10 +333,20 @@ func NewSMT(cfg Config, gens []trace.Generator) (*Sim, error) {
 	return newSMT(cfg, gens, false)
 }
 
-// newSMT is the shared constructor; scan selects the pre-refactor
-// full-window-scan reference kernel (differential tests only; compiled
-// under the scanoracle build tag).
+// newSMT builds the default memory hierarchy — the paper's single
+// lockup-free cache, wrapped for the Memory interface. (newSMTMem
+// validates the configuration; cache geometry errors panic in cache.New,
+// as they always have.)
 func newSMT(cfg Config, gens []trace.Generator, scan bool) (*Sim, error) {
+	return newSMTMem(cfg, gens, scan, mem.NewSingle(cache.New(cfg.Cache)))
+}
+
+// newSMTMem is the shared constructor; scan selects the pre-refactor
+// full-window-scan reference kernel (differential tests only; compiled
+// under the scanoracle build tag) and m is the core's port into the data
+// memory hierarchy (the Multicore runner passes one L1 of a shared
+// mem.System).
+func newSMTMem(cfg Config, gens []trace.Generator, scan bool, m Memory) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -349,7 +365,7 @@ func newSMT(cfg Config, gens []trace.Generator, scan bool) (*Sim, error) {
 		probe:    cfg.Policies.Probe,
 		pool:     core.NewSharedPool(cfg.Rename.PhysRegs),
 		bht:      bpred.New(cfg.BHTEntries),
-		dcache:   cache.New(cfg.Cache),
+		dmem:     m,
 		sbBuf:    make([]uint64, cfg.StoreBufferSize),
 	}
 	if s.fetchPol != nil {
@@ -419,8 +435,9 @@ func newSMT(cfg Config, gens []trace.Generator, scan bool) (*Sim, error) {
 // Renamer exposes thread 0's renamer for statistics collection.
 func (s *Sim) Renamer() core.Renamer { return s.threads[0].ren }
 
-// Cache exposes the shared data cache for statistics collection.
-func (s *Sim) Cache() *cache.Cache { return s.dcache }
+// Memory exposes the data memory hierarchy port for statistics
+// collection.
+func (s *Sim) Memory() Memory { return s.dmem }
 
 // BHT exposes the shared branch predictor for statistics collection.
 func (s *Sim) BHT() *bpred.BHT { return s.bht }
@@ -446,11 +463,17 @@ func (s *Sim) Done() bool {
 func (s *Sim) Stats() Stats {
 	st := s.stats
 	st.Cycles = s.cycle
-	st.CacheAccesses = s.dcache.Accesses
-	st.CacheMisses = s.dcache.Misses
-	st.CacheMergedMiss = s.dcache.Merges
-	st.MSHRStallCycles = s.dcache.MSHRStalls
-	st.PeakMSHRs = s.dcache.PeakInFlight
+	ms := s.dmem.Stats()
+	st.CacheAccesses = ms.Accesses
+	st.CacheMisses = ms.Misses
+	st.CacheMergedMiss = ms.Merges
+	st.MSHRStallCycles = ms.MSHRStalls
+	st.PeakMSHRs = ms.PeakInFlight
+	st.L2Fetches = ms.L2Fetches
+	st.L2Hits = ms.L2Hits
+	st.L2Misses = ms.L2Misses
+	st.L2Merges = ms.L2Merges
+	st.L2Conflicts = ms.L2Conflicts
 	for _, th := range s.threads {
 		lifetime, freed := th.ren.PressureStats()
 		st.RegLifetimeSum += lifetime

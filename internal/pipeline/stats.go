@@ -35,6 +35,16 @@ type Stats struct {
 	MSHRStallCycles int64
 	PeakMSHRs       int
 
+	// Second level (zero on the paper's infinite-L2 machine): the private
+	// finite L2 of cache.Config.L2Enabled, or this core's view of the
+	// banked shared L2 under the Multicore runner (shared counters are
+	// folded in once, by Multicore.Aggregate, not per core).
+	L2Fetches   int64 // L1 misses presented to the L2 (hits+misses+merges)
+	L2Hits      int64
+	L2Misses    int64
+	L2Merges    int64 // fetches folded into another core's in-flight refill
+	L2Conflicts int64 // line transfers that found their L2 bank bus busy
+
 	// Occupancy integrals (divide by Cycles for averages).
 	ROBOccupancySum int64
 	IQOccupancySum  int64
@@ -97,6 +107,15 @@ func (s Stats) MissRatio() float64 {
 		return 0
 	}
 	return float64(s.CacheMisses+s.CacheMergedMiss) / float64(s.CacheAccesses)
+}
+
+// L2MissRatio returns second-level misses per L2 fetch (0 on the paper's
+// infinite-L2 machine, which never fetches from an L2).
+func (s Stats) L2MissRatio() float64 {
+	if s.L2Fetches == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(s.L2Fetches)
 }
 
 // AvgRegLifetime returns the mean number of cycles a physical register was

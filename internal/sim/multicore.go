@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// MulticoreSpec describes a multi-core run: one workload per core, each
+// core a full single-thread pipeline with a private L1, all cores behind
+// a banked finite shared L2 (or private infinite-L2 hierarchies when
+// L2.Enabled is false — with one core, exactly the paper's machine).
+type MulticoreSpec struct {
+	// Workloads names one catalog kernel per core.
+	Workloads []string
+	// Config is the per-core machine.
+	Config pipeline.Config
+	// L2 is the shared-L2 geometry.
+	L2 mem.L2Config
+	// SharedAddressSpace puts every core in one address space (cores
+	// touching the same addresses share L2 lines and merge refills)
+	// instead of the namespaced, no-aliasing default.
+	SharedAddressSpace bool
+	// MaxInstrPerCore bounds every core's trace.
+	MaxInstrPerCore int64
+}
+
+// MulticoreResult is the outcome of a multi-core run.
+type MulticoreResult struct {
+	// Stats aggregates across cores: counters summed, cycles the lockstep
+	// maximum, the shared L2's counters folded in once.
+	Stats pipeline.Stats
+	// PerCore holds each core's own statistics (local L1 counters only).
+	PerCore []pipeline.Stats
+}
+
+// RunMulticore executes the specification and runs every core to
+// completion.
+func RunMulticore(spec MulticoreSpec) (MulticoreResult, error) {
+	return RunMulticoreContext(context.Background(), spec)
+}
+
+// RunMulticoreContext executes the specification under ctx: cancellation
+// stops the lockstep loop mid-run and surfaces ctx.Err().
+func RunMulticoreContext(ctx context.Context, spec MulticoreSpec) (MulticoreResult, error) {
+	if err := ctx.Err(); err != nil {
+		return MulticoreResult{}, err
+	}
+	if len(spec.Workloads) == 0 {
+		return MulticoreResult{}, fmt.Errorf("sim: multicore run needs at least one workload")
+	}
+	var gens []trace.Generator
+	for _, name := range spec.Workloads {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return MulticoreResult{}, fmt.Errorf("sim: unknown workload %q", name)
+		}
+		gen, err := w.NewGen()
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		if spec.MaxInstrPerCore > 0 {
+			gen = trace.Take(gen, spec.MaxInstrPerCore)
+		}
+		gens = append(gens, gen)
+	}
+	mc, err := pipeline.NewMulticore(pipeline.MulticoreConfig{
+		Cores:              len(gens),
+		Core:               spec.Config,
+		L2:                 spec.L2,
+		SharedAddressSpace: spec.SharedAddressSpace,
+	}, gens)
+	if err != nil {
+		return MulticoreResult{}, err
+	}
+	agg, err := mc.RunContext(ctx, 0)
+	if err != nil {
+		return MulticoreResult{}, fmt.Errorf("sim: multicore %v: %w", spec.Workloads, err)
+	}
+	out := MulticoreResult{Stats: agg}
+	for i := 0; i < mc.Cores(); i++ {
+		out.PerCore = append(out.PerCore, mc.CoreStats(i))
+	}
+	return out, nil
+}

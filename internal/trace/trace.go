@@ -39,11 +39,37 @@ type Generator interface {
 	Next() (Record, bool)
 }
 
+// BatchGenerator is an optional fast path a Generator may implement:
+// NextBatch fills dst and returns how many records it produced; any short
+// count (including zero) means the trace is exhausted. Consumers that
+// refill ring buffers (Stream) use it to amortize the per-record
+// interface-call and bookkeeping overhead of the emulator hot path.
+type BatchGenerator interface {
+	NextBatch(dst []Record) int
+}
+
 // GenFunc adapts a function to the Generator interface.
 type GenFunc func() (Record, bool)
 
 // Next calls f.
 func (f GenFunc) Next() (Record, bool) { return f() }
+
+// nextBatch fills dst from gen, using the batch fast path when the
+// generator provides one (callers pass the pre-asserted batch to avoid a
+// type assertion per refill).
+func nextBatch(gen Generator, batch BatchGenerator, dst []Record) int {
+	if batch != nil {
+		return batch.NextBatch(dst)
+	}
+	for i := range dst {
+		r, ok := gen.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = r
+	}
+	return len(dst)
+}
 
 // FromSlice returns a generator that replays recs, renumbering Seq from 0.
 func FromSlice(recs []Record) Generator {
@@ -59,19 +85,41 @@ func FromSlice(recs []Record) Generator {
 	})
 }
 
-// Take caps gen at n records.
+// Take caps gen at n records. The returned generator preserves gen's
+// batch fast path, so a Take-bounded emulator still refills in batches.
 func Take(gen Generator, n int64) Generator {
-	var done int64
-	return GenFunc(func() (Record, bool) {
-		if done >= n {
-			return Record{}, false
-		}
-		r, ok := gen.Next()
-		if ok {
-			done++
-		}
-		return r, ok
-	})
+	t := &takeGen{gen: gen, left: n}
+	t.batch, _ = gen.(BatchGenerator)
+	return t
+}
+
+type takeGen struct {
+	gen   Generator
+	batch BatchGenerator
+	left  int64
+}
+
+func (t *takeGen) Next() (Record, bool) {
+	if t.left <= 0 {
+		return Record{}, false
+	}
+	r, ok := t.gen.Next()
+	if ok {
+		t.left--
+	}
+	return r, ok
+}
+
+func (t *takeGen) NextBatch(dst []Record) int {
+	if t.left <= 0 {
+		return 0
+	}
+	if int64(len(dst)) > t.left {
+		dst = dst[:t.left]
+	}
+	n := nextBatch(t.gen, t.batch, dst)
+	t.left -= int64(n)
+	return n
 }
 
 // Collect drains up to max records from gen into a slice.
@@ -98,20 +146,30 @@ func Collect(gen Generator, max int64) []Record {
 // overruns the window or rewinds behind a retired record, since both are
 // simulator bugs, not recoverable conditions.
 type Stream struct {
-	gen  Generator
-	buf  []Record // ring buffer, capacity == window
-	base int64    // sequence number of the oldest buffered record
-	n    int      // buffered records
-	done bool     // generator exhausted
-	next int64    // sequence number the generator will produce next
+	gen   Generator
+	batch BatchGenerator // gen's batch fast path, nil if not provided
+	buf   []Record       // ring buffer, capacity == window
+	base  int64          // sequence number of the oldest buffered record
+	n     int            // buffered records
+	done  bool           // generator exhausted
+	next  int64          // sequence number the generator will produce next
 }
+
+// refillBatch is how many records a Stream pulls from its generator per
+// refill: decoding one instruction at a time through the Generator
+// interface was the emulator-side hot spot, so the window fills in
+// fixed-size batches (bounded by the free window space) instead. Pure
+// prefetch depth — the records a consumer observes are byte-identical.
+const refillBatch = 64
 
 // NewStream wraps gen with a sliding window of the given capacity.
 func NewStream(gen Generator, window int) *Stream {
 	if window <= 0 {
 		panic("trace: window must be positive")
 	}
-	return &Stream{gen: gen, buf: make([]Record, window)}
+	s := &Stream{gen: gen, buf: make([]Record, window)}
+	s.batch, _ = gen.(BatchGenerator)
+	return s
 }
 
 // At returns the record with the given sequence number, generating forward
@@ -124,20 +182,35 @@ func (s *Stream) At(seq int64) (Record, bool) {
 		if s.done {
 			return Record{}, false
 		}
-		r, ok := s.gen.Next()
-		if !ok {
-			s.done = true
-			return Record{}, false
-		}
-		r.Seq = s.next
-		s.next++
 		if s.n == len(s.buf) {
 			panic(fmt.Sprintf("trace: window of %d overrun (base %d, want %d); retire first", len(s.buf), s.base, seq))
 		}
-		s.buf[(s.base+int64(s.n))%int64(len(s.buf))] = r
-		s.n++
+		s.refill()
 	}
 	return s.buf[seq%int64(len(s.buf))], true
+}
+
+// refill pulls the next batch of records into the ring: up to refillBatch
+// of them, bounded by the free window space and the ring's wrap point. A
+// short batch marks the generator exhausted.
+func (s *Stream) refill() {
+	pos := int((s.base + int64(s.n)) % int64(len(s.buf)))
+	chunk := len(s.buf) - s.n // free space
+	if chunk > refillBatch {
+		chunk = refillBatch
+	}
+	if wrap := len(s.buf) - pos; chunk > wrap {
+		chunk = wrap // stay contiguous; the next refill starts at the ring head
+	}
+	got := nextBatch(s.gen, s.batch, s.buf[pos:pos+chunk])
+	for i := 0; i < got; i++ {
+		s.buf[pos+i].Seq = s.next
+		s.next++
+	}
+	s.n += got
+	if got < chunk {
+		s.done = true
+	}
 }
 
 // Retire discards all records with sequence numbers < seq, allowing the

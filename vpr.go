@@ -39,7 +39,10 @@ package vpr
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -47,6 +50,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
@@ -95,6 +99,55 @@ type (
 	SMTSpec   = sim.SMTSpec
 	SMTResult = sim.SMTResult
 )
+
+// MulticoreSpec and MulticoreResult describe multi-core runs: one
+// workload per core, each core a full single-thread pipeline with a
+// private lockup-free L1, all cores stepped in cycle-lockstep behind a
+// banked finite shared L2 (internal/mem).
+type (
+	MulticoreSpec   = sim.MulticoreSpec
+	MulticoreResult = sim.MulticoreResult
+)
+
+// L2Config sizes the banked shared L2 of a multi-core run; the zero
+// value (Enabled=false) gives every core a private infinite-L2 hierarchy
+// — the paper's machine per core.
+type L2Config = mem.L2Config
+
+// DefaultL2Config is a 256 KB, 4-bank shared L2 (L2 hits 20 cycles,
+// misses 100, 4-cycle bank bus per line transfer).
+func DefaultL2Config() L2Config { return mem.DefaultL2Config() }
+
+// ParseL2Geometry parses the CLI shared-L2 geometry syntax "SIZE[:BANKS]"
+// — SIZE accepts a K or M suffix ("256K:4", "1M:8", "524288") — and
+// returns the size in bytes and the bank count (0 when ":BANKS" was
+// omitted). Both cmd/vptables and cmd/vpbench speak this syntax.
+func ParseL2Geometry(s string) (sizeBytes, banks int, err error) {
+	sizePart, bankPart, hasBanks := strings.Cut(s, ":")
+	if hasBanks {
+		banks, err = strconv.Atoi(bankPart)
+		if err != nil || banks < 1 {
+			return 0, 0, fmt.Errorf("vpr: bad L2 bank count %q", bankPart)
+		}
+	}
+	mult := 1
+	switch {
+	case strings.HasSuffix(sizePart, "K"), strings.HasSuffix(sizePart, "k"):
+		mult, sizePart = 1024, sizePart[:len(sizePart)-1]
+	case strings.HasSuffix(sizePart, "M"), strings.HasSuffix(sizePart, "m"):
+		mult, sizePart = 1024*1024, sizePart[:len(sizePart)-1]
+	}
+	n, err := strconv.Atoi(sizePart)
+	if err != nil || n < 1 {
+		return 0, 0, fmt.Errorf("vpr: bad L2 size %q", s)
+	}
+	return n * mult, banks, nil
+}
+
+// MemStats are the memory-hierarchy counters a Memory port accumulates
+// (pipeline.Stats carries the per-run view; this is the raw form the
+// internal hierarchy reports).
+type MemStats = mem.Stats
 
 // DefaultConfig returns the paper's machine: 8-way out-of-order, 128-entry
 // ROB, Table 1 functional units, 64 physical registers per file, 16 KB
@@ -182,6 +235,21 @@ func (e *Engine) RunSMTBatch(ctx context.Context, specs []SMTSpec) ([]SMTResult,
 	return e.eng.RunSMTBatch(ctx, specs)
 }
 
+// RunMulticore simulates one multi-core machine under ctx: one workload
+// per core, private L1s over the banked shared L2, cores stepped in
+// cycle-lockstep. Results cache under a key covering the per-core
+// machine and the shared-L2 memory configuration.
+func (e *Engine) RunMulticore(ctx context.Context, spec MulticoreSpec) (MulticoreResult, error) {
+	return e.eng.RunMulticore(ctx, spec)
+}
+
+// RunMulticoreBatch shards independent multi-core specs across the
+// worker pool (each machine's cores stay in lockstep on one worker) and
+// returns results in spec order.
+func (e *Engine) RunMulticoreBatch(ctx context.Context, specs []MulticoreSpec) ([]MulticoreResult, error) {
+	return e.eng.RunMulticoreBatch(ctx, specs)
+}
+
 // RunExperiment builds the named experiment's spec list, executes it
 // through the engine's worker pool and cache, and reduces the runs into
 // the experiment's typed result plus its paper-shaped rendering. The
@@ -208,6 +276,12 @@ func Run(spec RunSpec) (Result, error) { return sim.Run(spec) }
 //
 // Deprecated: construct an Engine with New and use Engine.RunSMT.
 func RunSMT(spec SMTSpec) (SMTResult, error) { return sim.RunSMT(spec) }
+
+// RunMulticore simulates one multi-core machine synchronously: N
+// single-thread cores with private L1s behind the banked shared L2,
+// stepped in cycle-lockstep. For batches, cancellation and result
+// caching, construct an Engine with New and use Engine.RunMulticore.
+func RunMulticore(spec MulticoreSpec) (MulticoreResult, error) { return sim.RunMulticore(spec) }
 
 // --- Stage policies and probes ------------------------------------------------
 
@@ -329,6 +403,10 @@ type LifetimeRow = experiments.LifetimeRow
 // FetchPolicyRow is one point of the SMT fetch-policy study (ICOUNT vs
 // round-robin on the §5 machine).
 type FetchPolicyRow = experiments.FetchPolicyRow
+
+// MulticoreRow is one point of the multi-core scaling study (cores ×
+// register-pool scheme over the banked shared L2).
+type MulticoreRow = experiments.MulticoreRow
 
 // RunTable2 reproduces Table 2 (conventional vs VP write-back at 64
 // registers, max NRR), optionally with the 20-cycle miss-penalty footnote.
