@@ -26,7 +26,9 @@ race:
 
 # Benchmarks; BenchmarkRunBatch compares the serial and parallel engine,
 # and vpbench records the perf trajectory into BENCH_pipeline.json
-# (instrs/sec per scheme plus harness timings).
+# (instrs/sec per scheme, the multicore and coherence points, harness
+# timings — the schema and CI-enforced fields are documented in
+# docs/BENCH.md).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/vpbench -out BENCH_pipeline.json

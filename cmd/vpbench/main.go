@@ -53,6 +53,23 @@ type multicorePoint struct {
 	L2MissRatio    float64 `json:"l2_miss_ratio"`
 }
 
+// coherencePoint records the MSI-coherent multicore runner's throughput
+// and invalidation traffic on the sharing-heavy synthetic workload: cores
+// in one address space with the directory on. The CI bench smoke fails if
+// this point is missing or shows no invalidations.
+type coherencePoint struct {
+	Workload          string  `json:"workload"`
+	Cores             int     `json:"cores"`
+	Instr             int64   `json:"instr"` // committed, aggregate
+	IPC               float64 `json:"ipc"`   // aggregate
+	InstrsPerSec      float64 `json:"instrs_per_sec"`
+	AllocsPerInstr    float64 `json:"allocs_per_instr"`
+	Invalidations     int64   `json:"l2_invalidations"`
+	BackInvalidations int64   `json:"l2_back_invalidations"`
+	Upgrades          int64   `json:"l2_upgrades"`
+	WritebackForwards int64   `json:"l2_writeback_forwards"`
+}
+
 type harnessTiming struct {
 	Specs           int     `json:"specs"`
 	InstrPerSpec    int64   `json:"instr_per_spec"`
@@ -69,6 +86,7 @@ type report struct {
 	GoMaxProcs int            `json:"go_max_procs"`
 	Schemes    []schemePoint  `json:"schemes"`
 	Multicore  multicorePoint `json:"multicore"`
+	Coherence  coherencePoint `json:"coherence"`
 	Harness    harnessTiming  `json:"harness"`
 }
 
@@ -80,8 +98,9 @@ func main() {
 		wls       = flag.String("workloads", "compress,swim,hydro2d", "workloads for the scheme points")
 		fetchPol  = flag.String("fetch", "", "fetch policy for every run (default round-robin)")
 		issueSel  = flag.String("issue", "", "issue-select heuristic for every run (default oldest-first)")
-		cores     = flag.Int("cores", 2, "core count for the recorded multicore point")
-		l2Geom    = flag.String("l2", "", "shared L2 geometry for the multicore point: SIZE[:BANKS], e.g. 256K:4 (default DefaultL2Config)")
+		cores     = flag.Int("cores", 2, "core count for the recorded multicore and coherence points")
+		l2Geom    = flag.String("l2", "", "shared L2 geometry for the multicore/coherence points: SIZE[:BANKS], e.g. 256K:4 (default DefaultL2Config)")
+		coh       = flag.Bool("coherence", false, "run the generic multicore point with one shared address space and the MSI directory on (the dedicated coherence point always does)")
 	)
 	flag.Parse()
 	if *cores < 1 {
@@ -117,13 +136,44 @@ func main() {
 		}
 		policies.Issue = sel
 	}
-	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies, *cores, l2); err != nil {
+	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies, *cores, l2, *coh); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies, cores int, l2 vpr.L2Config) error {
+// measureMulticore runs one multi-core point — the same workload on every
+// core — bracketed by MemStats reads, returning the result and the host
+// heap allocations per committed instruction. Both recorded multicore
+// points share this measurement protocol.
+func measureMulticore(wl string, policies vpr.Policies, cores int, l2 vpr.L2Config,
+	coherent bool, instr int64) (vpr.MulticoreResult, float64, error) {
+	cfg := vpr.DefaultConfig()
+	cfg.Policies = policies
+	names := make([]string, cores)
+	for i := range names {
+		names[i] = wl
+	}
+	spec := vpr.MulticoreSpec{
+		Workloads:          names,
+		Config:             cfg,
+		L2:                 l2,
+		SharedAddressSpace: coherent,
+		Coherence:          coherent,
+		MaxInstrPerCore:    instr / int64(cores),
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := vpr.RunMulticore(spec)
+	if err != nil {
+		return vpr.MulticoreResult{}, 0, err
+	}
+	runtime.ReadMemStats(&m1)
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(max(res.Stats.Committed, 1))
+	return res, allocs, nil
+}
+
+func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies, cores int, l2 vpr.L2Config, coherentMC bool) error {
 	rep := report{
 		Schema:     "vpr-bench/v1",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -167,26 +217,10 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 	// the throughput the multicore experiment pays per point.
 	{
 		wl := workloads[0]
-		mcCfg := vpr.DefaultConfig()
-		mcCfg.Policies = policies
-		names := make([]string, cores)
-		for i := range names {
-			names[i] = wl
-		}
-		spec := vpr.MulticoreSpec{
-			Workloads:       names,
-			Config:          mcCfg,
-			L2:              l2,
-			MaxInstrPerCore: instr / int64(cores),
-		}
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		res, err := vpr.RunMulticore(spec)
+		res, allocs, err := measureMulticore(wl, policies, cores, l2, coherentMC, instr)
 		if err != nil {
 			return err
 		}
-		runtime.ReadMemStats(&m1)
-		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(max(res.Stats.Committed, 1))
 		mcMiss := res.Stats.L2MissRatio()
 		rep.Multicore = multicorePoint{
 			Workload:       wl,
@@ -202,6 +236,36 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 		fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  l2miss %.3f\n",
 			fmt.Sprintf("mc×%d", cores), wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec,
 			res.Stats.IPC(), allocs, mcMiss)
+	}
+
+	// Coherence point: the MSI directory on the sharing-heavy synthetic
+	// workload — cores in one address space writing the same lines, the
+	// cost the coherence experiment pays per point. Always recorded (and
+	// CI-enforced: l2_invalidations must be nonzero) so the invalidation
+	// path stays on the perf record; a single core has no remote sharers
+	// to invalidate, so the point runs at least two.
+	{
+		wl := vpr.SynthWorkloadPrefix + "sharing"
+		cohCores := max(cores, 2)
+		res, allocs, err := measureMulticore(wl, policies, cohCores, l2, true, instr)
+		if err != nil {
+			return err
+		}
+		rep.Coherence = coherencePoint{
+			Workload:          wl,
+			Cores:             cohCores,
+			Instr:             res.Stats.Committed,
+			IPC:               res.Stats.IPC(),
+			InstrsPerSec:      res.Stats.InstrsPerSec,
+			AllocsPerInstr:    allocs,
+			Invalidations:     res.Stats.L2Invalidations,
+			BackInvalidations: res.Stats.L2BackInvalidations,
+			Upgrades:          res.Stats.L2Upgrades,
+			WritebackForwards: res.Stats.L2WritebackForwards,
+		}
+		fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  inval %d\n",
+			fmt.Sprintf("msi×%d", cohCores), wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec,
+			res.Stats.IPC(), allocs, res.Stats.L2Invalidations)
 	}
 
 	// Harness grid: every catalog workload × scheme, serial vs parallel.

@@ -60,8 +60,9 @@ func main() {
 		par      = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS); results are identical at any level")
 		fetchPol = flag.String("fetch", "", "fetch policy for every run (see the policy list; default round-robin)")
 		issueSel = flag.String("issue", "", "issue-select heuristic for every run (see the policy list; default oldest-first)")
-		cores    = flag.String("cores", "", "core counts for the multicore experiment (comma-separated; default 1,2,4)")
-		l2       = flag.String("l2", "", "shared L2 geometry for the multicore experiment: SIZE[:BANKS], e.g. 256K:4 or 1M:8")
+		cores    = flag.String("cores", "", "core counts for the multicore/coherence experiments (comma-separated; defaults 1,2,4 and 2,4)")
+		l2       = flag.String("l2", "", "shared L2 geometry for the multicore/coherence experiments: SIZE[:BANKS], e.g. 256K:4 or 1M:8")
+		coh      = flag.Bool("coherence", false, "run the multicore experiment with one shared address space and the MSI directory on")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := vpr.ExperimentOptions{Instr: *instr, FetchPolicy: *fetchPol, IssueSelect: *issueSel}
+	opts := vpr.ExperimentOptions{Instr: *instr, FetchPolicy: *fetchPol, IssueSelect: *issueSel, Coherence: *coh}
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
 	}
@@ -180,6 +181,7 @@ func policyNames(infos []vpr.PolicyInfo) string {
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(), "usage: vptables [flags]\n\nflags:\n")
 	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), "\nevery experiment, its options and how to reproduce each table are documented\nin docs/EXPERIMENTS.md.\n")
 	fmt.Fprintf(flag.CommandLine.Output(), "\nexperiments (from the registry):\n")
 	fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", "config", "paper Table 1 / §4.1 machine configuration (local printout)")
 	for _, e := range vpr.Experiments() {

@@ -82,8 +82,8 @@ func TestEngineCacheHook(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	infos := vpr.Experiments()
-	if len(infos) != 13 {
-		t.Fatalf("registry size = %d, want 13", len(infos))
+	if len(infos) != 14 {
+		t.Fatalf("registry size = %d, want 14", len(infos))
 	}
 	seen := map[string]bool{}
 	for _, e := range infos {
@@ -92,7 +92,7 @@ func TestExperimentsRegistry(t *testing.T) {
 		}
 		seen[e.Name] = true
 	}
-	for _, want := range []string{"table2", "fig4", "fig5", "fig6", "fig7", "smt", "lifetime", "multicore"} {
+	for _, want := range []string{"table2", "fig4", "fig5", "fig6", "fig7", "smt", "lifetime", "multicore", "coherence"} {
 		if !seen[want] {
 			t.Errorf("registry missing %q", want)
 		}

@@ -42,11 +42,12 @@ func smtKey(spec sim.SMTSpec) cacheKey {
 
 // multicoreKey is specKey for multi-core runs: the hash covers the
 // per-core machine configuration and the memory configuration (shared-L2
-// geometry and the address-space mode), so two specs differing only in
-// the memory hierarchy never share a cache entry.
+// geometry, the address-space mode and the MSI coherence switch), so two
+// specs differing only in the memory hierarchy never share a cache entry.
 func multicoreKey(spec sim.MulticoreSpec) cacheKey {
-	return sha256.Sum256([]byte(fmt.Sprintf("mc|%q|%d|%#v|%#v|%v",
-		spec.Workloads, spec.MaxInstrPerCore, spec.Config, spec.L2, spec.SharedAddressSpace)))
+	return sha256.Sum256([]byte(fmt.Sprintf("mc|%q|%d|%#v|%#v|%v|%v",
+		spec.Workloads, spec.MaxInstrPerCore, spec.Config, spec.L2,
+		spec.SharedAddressSpace, spec.Coherence)))
 }
 
 // resultCache is a concurrency-safe LRU over completed runs. Values are

@@ -1,15 +1,19 @@
 // Package engine turns the single-point simulator in internal/sim into a
 // service: an Engine owns a worker pool and a deterministic result cache
-// and exposes context-aware single, batch and SMT-batch entry points.
+// and exposes context-aware single, batch, SMT-batch and multicore-batch
+// entry points.
 //
 // Batches fan their specs out over the pool and collect results in spec
 // order, so a batch's output is byte-for-byte independent of the
 // parallelism level — the simulator itself is deterministic, and ordering
-// is the only thing concurrency could perturb. The cache is keyed by a
-// canonical hash of workload/generator identity, machine configuration and
-// instruction budget (see specKey), so overlapping sweeps — e.g. the
-// conventional baseline shared by figures 4, 5 and 7 — never re-simulate
-// the same point.
+// is the only thing concurrency could perturb. (Multi-core machines are
+// sharded across the pool as whole machines; the cores of one machine
+// stay in lockstep on one worker.) The cache is keyed by a canonical
+// hash of workload/generator identity, machine configuration and
+// instruction budget (see specKey) — for multi-core specs also the
+// shared-L2 geometry, address-space mode and coherence switch — so
+// overlapping sweeps, e.g. the conventional baseline shared by figures
+// 4, 5 and 7, never re-simulate the same point.
 package engine
 
 import (

@@ -62,6 +62,42 @@ func TestRunMulticoreCaches(t *testing.T) {
 	}
 }
 
+// TestRunMulticoreCoherenceKeysCache: flipping only the Coherence (or
+// SharedAddressSpace) switch is a different machine and must never share
+// a cache entry with the coherence-free run.
+func TestRunMulticoreCoherenceKeysCache(t *testing.T) {
+	e := New()
+	ctx := context.Background()
+	base := mcSpec(2, mem.DefaultL2Config())
+	base.SharedAddressSpace = true
+
+	off, err := e.RunMulticore(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coherent := base
+	coherent.Coherence = true
+	if _, err := e.RunMulticore(ctx, coherent); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 2 {
+		t.Errorf("coherence flip: hits/misses = %d/%d, want 0/2 (Coherence keys the cache)", hits, misses)
+	}
+	if off.Stats.L2Invalidations != 0 {
+		t.Errorf("coherence-off run recorded %d invalidations", off.Stats.L2Invalidations)
+	}
+	// Both variants are cached independently.
+	if _, err := e.RunMulticore(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunMulticore(ctx, coherent); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e.CacheStats(); hits != 2 {
+		t.Errorf("repeat points: %d cache hits, want 2", hits)
+	}
+}
+
 // TestRunMulticoreBatchDeterministic: batches of multi-core machines
 // produce identical results at every parallelism level.
 func TestRunMulticoreBatchDeterministic(t *testing.T) {

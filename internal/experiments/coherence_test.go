@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestCoherenceExperiment is the acceptance run: on the sharing workload
+// the rendered table carries nonzero invalidation counts, and the
+// namespaced control stays at zero.
+func TestCoherenceExperiment(t *testing.T) {
+	exp, ok := ByName("coherence")
+	if !ok {
+		t.Fatal("coherence experiment missing from the registry")
+	}
+	opts := Options{Instr: 16_000, Cores: []int{2}}
+	v, err := exp.Run(context.Background(), engine.New(), withCoherenceDefaults(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := v.([]CoherenceRow)
+	if len(rows) != 2 { // 1 workload × 1 core count × 2 schemes
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Workload != coherenceDefaultWorkload {
+			t.Errorf("row workload %q, want %q", r.Workload, coherenceDefaultWorkload)
+		}
+		if r.Invalidations == 0 || r.Upgrades == 0 {
+			t.Errorf("%s cores=%d: sharing run shows no coherence traffic: %+v", r.Scheme, r.Cores, r)
+		}
+		if r.NamespacedInvalidations != 0 {
+			t.Errorf("%s cores=%d: namespaced control saw %d invalidations, want 0",
+				r.Scheme, r.Cores, r.NamespacedInvalidations)
+		}
+	}
+	text := exp.Render(v)
+	if !strings.Contains(text, "inval") || !strings.Contains(text, "ns-inval") {
+		t.Errorf("rendering missing expected columns:\n%s", text)
+	}
+}
+
+// TestMulticoreCoherenceOption: Options.Coherence (the -coherence flag)
+// switches the multicore experiment's points into the shared, coherent
+// configuration.
+func TestMulticoreCoherenceOption(t *testing.T) {
+	plan, err := multicorePlan(withMulticoreDefaultWorkloads(Options{Instr: 1_000, Coherence: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range plan.Multicore {
+		if !spec.Coherence || !spec.SharedAddressSpace {
+			t.Fatalf("multicore spec ignored Options.Coherence: %+v", spec)
+		}
+	}
+	plan, err = multicorePlan(withMulticoreDefaultWorkloads(Options{Instr: 1_000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range plan.Multicore {
+		if spec.Coherence || spec.SharedAddressSpace {
+			t.Fatalf("default multicore spec must stay namespaced and coherence-free: %+v", spec)
+		}
+	}
+}

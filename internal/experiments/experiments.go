@@ -38,13 +38,20 @@ type Options struct {
 	FetchPolicy string
 	IssueSelect string
 
-	// Cores is the core-count sweep of the multicore experiment (default
-	// 1, 2, 4; the CLI -cores flag).
+	// Cores is the core-count sweep of the multicore and coherence
+	// experiments (defaults 1,2,4 and 2,4 respectively; the CLI -cores
+	// flag).
 	Cores []int
 	// L2SizeBytes and L2Banks override the shared L2 geometry of the
-	// multicore experiment (0 = mem.DefaultL2Config; the CLI -l2 flag).
+	// multicore and coherence experiments (0 = mem.DefaultL2Config; the
+	// CLI -l2 flag).
 	L2SizeBytes int
 	L2Banks     int
+	// Coherence runs the multicore experiment's points in one shared
+	// address space with the MSI directory enabled (the CLI -coherence
+	// flag). The coherence experiment ignores it — it sweeps the
+	// directory on and off by construction.
+	Coherence bool
 }
 
 func (o Options) workloads() []string {

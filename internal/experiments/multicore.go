@@ -48,7 +48,7 @@ func (o Options) l2Config() mem.L2Config {
 // NRR); the per-core instruction budget divides the option's budget so
 // total simulated work stays constant across the sweep.
 func multicorePlan(opts Options) (Plan, error) {
-	if err := opts.checkWorkloads(); err != nil {
+	if err := checkMulticoreWorkloads(opts.workloads()); err != nil {
 		return Plan{}, err
 	}
 	coreCounts := opts.Cores
@@ -61,7 +61,7 @@ func multicorePlan(opts Options) (Plan, error) {
 		}
 	}
 	l2 := opts.l2Config()
-	names := opts.workloads()
+	names := opts.workloads() // may include "synth:" presets, as in MulticoreSpec
 	var specs []sim.MulticoreSpec
 	for _, name := range names {
 		for _, n := range coreCounts {
@@ -102,10 +102,12 @@ func multicorePointSpec(name string, scheme core.Scheme, cores int, l2 mem.L2Con
 		names[i] = name
 	}
 	return sim.MulticoreSpec{
-		Workloads:       names,
-		Config:          baseConfig(scheme, 64, 32),
-		L2:              l2,
-		MaxInstrPerCore: opts.instr() / int64(cores),
+		Workloads:          names,
+		Config:             baseConfig(scheme, 64, 32),
+		L2:                 l2,
+		SharedAddressSpace: opts.Coherence,
+		Coherence:          opts.Coherence,
+		MaxInstrPerCore:    opts.instr() / int64(cores),
 	}
 }
 

@@ -180,6 +180,13 @@ var registry = []Experiment{
 		Build:      func(opts Options) (Plan, error) { return multicorePlan(withMulticoreDefaultWorkloads(opts)) },
 		Render:     func(v any) string { return RenderMulticore(v.([]MulticoreRow)) },
 	},
+	{
+		Name:       "coherence",
+		Title:      "MSI coherence cost over the banked shared L2",
+		Reproduces: "repository study: cores × scheme × coherence on/off on a sharing-heavy synthetic workload, with a namespaced zero-invalidation control (ROADMAP's coherence axis)",
+		Build:      func(opts Options) (Plan, error) { return coherencePlan(withCoherenceDefaults(opts)) },
+		Render:     func(v any) string { return RenderCoherence(v.([]CoherenceRow)) },
+	},
 }
 
 // Registry returns the experiments in reporting order.

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "fig4", "fig5", "fig6", "fig7",
 		"ablation-release", "ablation-disamb", "ablation-recovery", "ablation-nrr-split",
-		"smt", "lifetime", "smt-fetch", "multicore",
+		"smt", "lifetime", "smt-fetch", "multicore", "coherence",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry names = %v, want %v", got, want)

@@ -57,6 +57,12 @@ type mshr struct {
 	lineAddr  uint64
 	readyAt   int64
 	markDirty bool // a write merged into the pending refill
+
+	// invalidated marks a refill whose line was invalidated by the MSI
+	// directory while still in flight: the data returns to the requester
+	// (the outcome's ReadyAt stands) but the line never installs, and
+	// later accesses must fetch it again. Never set without coherence.
+	invalidated bool
 }
 
 // L1 is one core's direct-mapped lockup-free data cache: a line-for-line
@@ -64,10 +70,12 @@ type mshr struct {
 // (nil models the paper's infinite L2: every miss costs MissPenalty).
 // When the L1 is a port of a multi-core System, base namespaces the
 // core's addresses so cores never alias each other's lines in the shared
-// L2.
+// L2, and id is the port index the shared L2's MSI directory tracks the
+// core under.
 type L1 struct {
 	cfg       L1Config
 	base      uint64
+	id        int
 	next      *BankedL2
 	lines     []line
 	mshrs     []mshr
@@ -116,11 +124,14 @@ func (l *L1) drain(now int64) {
 	for i := range l.mshrs {
 		m := &l.mshrs[i]
 		if m.busy && m.readyAt <= now {
-			ln := &l.lines[l.index(m.lineAddr)]
-			ln.valid = true
-			ln.tag = m.lineAddr
-			ln.dirty = m.markDirty
+			if !m.invalidated {
+				ln := &l.lines[l.index(m.lineAddr)]
+				ln.valid = true
+				ln.tag = m.lineAddr
+				ln.dirty = m.markDirty
+			}
 			m.busy = false
+			m.invalidated = false
 		}
 	}
 }
@@ -143,21 +154,40 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 
 	if ln.valid && ln.tag == la {
 		l.st.Hits++
+		ready := now + int64(l.cfg.HitLatency)
 		if write {
+			// A store to a clean copy of a coherent line is the MSI
+			// S→M transition: ask the directory for ownership (which
+			// invalidates every remote copy) before dirtying it.
+			if !ln.dirty && l.next != nil && l.next.coherent {
+				if f := l.next.Upgrade(now, la, l.id); f > ready {
+					ready = f
+				}
+			}
 			ln.dirty = true
 		}
-		return cache.Outcome{Hit: true, ReadyAt: now + int64(l.cfg.HitLatency)}, true
+		return cache.Outcome{Hit: true, ReadyAt: ready}, true
 	}
 
-	// Secondary miss: the line is already on its way.
+	// Secondary miss: the line is already on its way. Refills invalidated
+	// mid-flight by the directory no longer carry usable data, so they are
+	// not merge targets.
 	for i := range l.mshrs {
 		m := &l.mshrs[i]
-		if m.busy && m.lineAddr == la {
+		if m.busy && !m.invalidated && m.lineAddr == la {
 			l.st.Merges++
+			ready := m.readyAt
 			if write {
+				// First store to merge into a read refill: the install
+				// will be Modified, so take ownership now.
+				if !m.markDirty && l.next != nil && l.next.coherent {
+					if f := l.next.Upgrade(now, la, l.id); f > ready {
+						ready = f
+					}
+				}
 				m.markDirty = true
 			}
-			return cache.Outcome{Merged: true, ReadyAt: m.readyAt}, true
+			return cache.Outcome{Merged: true, ReadyAt: ready}, true
 		}
 	}
 
@@ -190,7 +220,7 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 		l.busFreeAt += int64(l.cfg.BusCyclesPerLine)
 		ln.dirty = false
 		if l.next != nil {
-			l.next.WriteBack(now, ln.tag)
+			l.next.writeBack(now, ln.tag, l.id)
 		}
 	}
 
@@ -203,7 +233,7 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 	penalty := l.cfg.MissPenalty
 	floor := now
 	if l.next != nil {
-		penalty, floor = l.next.Fetch(now, la)
+		penalty, floor = l.next.fetch(now, la, l.id, write)
 	}
 	ready := now + int64(l.cfg.HitLatency+penalty)
 	if b := l.busFreeAt + int64(l.cfg.BusCyclesPerLine); b > ready {
@@ -215,6 +245,55 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 	l.busFreeAt = ready
 	l.mshrs[slot] = mshr{busy: true, lineAddr: la, readyAt: ready, markDirty: write}
 	return cache.Outcome{ReadyAt: ready}, true
+}
+
+// invalidateLine is the L1's invalidation port: the shared L2's MSI
+// directory calls it when another core takes ownership of the line or the
+// L2 evicts it. Matured refills are installed first (so a refill that
+// completed earlier this cycle is invalidated as a line, not missed), the
+// line is dropped if present, and a still-in-flight refill of the line is
+// squashed — its requester keeps the data (the outcome already returned)
+// but nothing installs, the race the directory must win. Reports whether
+// a copy existed and whether it was dirty; a merged-but-uninstalled store
+// (markDirty) counts as dirty, since its data would otherwise be lost.
+func (l *L1) invalidateLine(now int64, lineAddr uint64) (present, wasDirty bool) {
+	l.drain(now)
+	ln := &l.lines[l.index(lineAddr)]
+	if ln.valid && ln.tag == lineAddr {
+		present = true
+		wasDirty = ln.dirty
+		ln.valid = false
+		ln.dirty = false
+	}
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if m.busy && !m.invalidated && m.lineAddr == lineAddr {
+			present = true
+			wasDirty = wasDirty || m.markDirty
+			m.invalidated = true
+		}
+	}
+	return present, wasDirty
+}
+
+// downgradeLine is the M→S half of the port: a remote reader forced the
+// owner to forward its dirty data, so the local copy stays valid but
+// clean. Reports whether dirty data was actually given up.
+func (l *L1) downgradeLine(now int64, lineAddr uint64) (wasDirty bool) {
+	l.drain(now)
+	ln := &l.lines[l.index(lineAddr)]
+	if ln.valid && ln.tag == lineAddr && ln.dirty {
+		ln.dirty = false
+		wasDirty = true
+	}
+	for i := range l.mshrs {
+		m := &l.mshrs[i]
+		if m.busy && !m.invalidated && m.lineAddr == lineAddr && m.markDirty {
+			m.markDirty = false
+			wasDirty = true
+		}
+	}
+	return wasDirty
 }
 
 // Probe reports whether addr currently hits, without side effects (tests

@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // L2Config sizes the banked, finite, shared L2. It subsumes the old
 // cache.Config L2Enabled tag-array approximation: with Banks=1,
@@ -23,7 +26,9 @@ type L2Config struct {
 
 	// BankBusCycles is how long each line transfer (refill or write-back)
 	// occupies the bank's bus; concurrent cores touching the same bank
-	// queue behind each other. 0 disables conflict modelling.
+	// queue behind each other. 0 disables conflict modelling. With
+	// coherence enabled, invalidation messages and forwarded write-backs
+	// ride the same per-bank bus.
 	BankBusCycles int
 }
 
@@ -66,8 +71,23 @@ type refill struct {
 	readyAt  int64
 }
 
+// dirEntry is one set's MSI directory state, valid for the line the set's
+// tag currently names: which L1 ports (conservatively) hold a copy, and
+// which of them — if any — owns it Modified. The invariant maintained by
+// every transition is owner ∈ sharers, and owner >= 0 implies no other
+// sharer holds the line (their copies were invalidated when ownership was
+// granted). Sharer bits are conservative: a clean line silently dropped by
+// an L1 conflict eviction leaves its bit set, and a later invalidation of
+// that core is a counted-but-no-op message — exactly how imprecise
+// hardware directories behave.
+type dirEntry struct {
+	sharers uint64
+	owner   int16 // port index, or -1 when no Modified copy exists
+}
+
 type bank struct {
 	tags      []uint64 // tag per set, +1 (0 = invalid); direct-mapped
+	dir       []dirEntry
 	busFreeAt int64
 	inflight  []refill
 }
@@ -77,6 +97,17 @@ type bank struct {
 // refills, and per-bank in-flight refill tracking that merges same-line
 // fetches from different cores. It is driven by the L1s in front of it
 // and works entirely in line-address space.
+//
+// With coherence enabled (System wires it when MulticoreConfig.Coherence
+// is set), each set additionally carries an MSI directory entry — sharer
+// bitmask plus Modified owner — and the L2 drives invalidation and
+// downgrade messages into the registered L1 ports: stores take ownership
+// through an upgrade path that invalidates remote copies, remote dirty
+// lines are forwarded through the bank bus before a reader or new owner
+// proceeds, and L2 evictions back-invalidate the victim's sharers so the
+// hierarchy stays inclusive. Every coherence action is behind the
+// coherent flag: a non-coherent BankedL2 is bit-for-bit the PR-4
+// hierarchy.
 //
 // The L2 is not internally synchronized: the multi-core runner steps
 // cores in cycle-lockstep on one goroutine, which is also what makes the
@@ -88,6 +119,9 @@ type BankedL2 struct {
 	banks     []bank
 	now       int64
 
+	coherent bool
+	ports    []*L1 // invalidation/downgrade targets, indexed by L1 id
+
 	// Statistics.
 	Fetches    int64
 	Hits       int64
@@ -95,6 +129,18 @@ type BankedL2 struct {
 	Merges     int64
 	WriteBacks int64
 	Conflicts  int64 // transfers that found their bank's bus busy
+
+	// Coherence statistics (zero unless coherence is enabled).
+	// Invalidations counts only ownership-claim messages — upgrades and
+	// read-for-ownership fetches invalidating remote sharers — so it is
+	// zero whenever cores never share a line (namespaced address
+	// spaces). BackInvalidations counts the inclusion half: victims an
+	// L2 eviction forces out of their sharers' L1s, which happens under
+	// pure capacity pressure even without sharing.
+	Invalidations     int64 // sharing-driven invalidation messages to remote L1s
+	BackInvalidations int64 // inclusion: L2 victims invalidated out of sharer L1s
+	Upgrades          int64 // stores that asked the directory for ownership of a present line
+	WritebackForwards int64 // dirty remote copies forwarded through a bank
 }
 
 // NewBankedL2 builds the shared L2 for the given L1 line size.
@@ -122,6 +168,28 @@ func NewBankedL2(cfg L2Config, lineBytes int) (*BankedL2, error) {
 // Config returns the configuration the L2 was built with.
 func (c *BankedL2) Config() L2Config { return c.cfg }
 
+// Coherent reports whether the MSI directory is active.
+func (c *BankedL2) Coherent() bool { return c.coherent }
+
+// attachPorts switches the L2 into MSI mode and registers the L1s it may
+// invalidate, indexed by their port id. Called by NewSystem before any
+// traffic flows.
+func (c *BankedL2) attachPorts(ports []*L1) error {
+	if len(ports) > 64 {
+		return fmt.Errorf("mem: MSI directory tracks at most 64 cores, have %d", len(ports))
+	}
+	c.coherent = true
+	c.ports = ports
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.dir = make([]dirEntry, len(b.tags))
+		for s := range b.dir {
+			b.dir[s].owner = -1
+		}
+	}
+	return nil
+}
+
 // bankOf maps a line onto its bank and direct-mapped set. Core-namespace
 // bits (>= CoreAddrShift) sit far above the index bits, so they are
 // hashed back down before indexing — without this, cores running
@@ -130,14 +198,14 @@ func (c *BankedL2) Config() L2Config { return c.cfg }
 // (single core, base-0 L1s, and therefore the cache.Config L2Enabled
 // equivalence) index exactly as a plain modulo. Tags always compare the
 // full line address, so the hash can never cause a false hit.
-func (c *BankedL2) bankOf(lineAddr uint64) (*bank, *uint64) {
+func (c *BankedL2) bankOf(lineAddr uint64) (*bank, int) {
 	h := lineAddr
 	if hi := lineAddr >> c.coreShift; hi != 0 {
 		h ^= hi * 0x9e3779b97f4a7c15
 	}
 	b := &c.banks[h%uint64(len(c.banks))]
-	set := h / uint64(len(c.banks)) % uint64(len(b.tags))
-	return b, &b.tags[set]
+	set := int(h / uint64(len(c.banks)) % uint64(len(b.tags)))
+	return b, set
 }
 
 // advance asserts lockstep monotonicity (cores present non-decreasing
@@ -176,15 +244,41 @@ func (c *BankedL2) reserveBus(b *bank, now int64) int64 {
 // (beyond the L1 hit latency) and a completion floor from the bank bus /
 // in-flight merge. Tags install immediately (the inclusive-refill
 // approximation the old cache.Config L2 mode used); the in-flight list
-// only widens the merge window for other cores.
+// only widens the merge window for other cores. Non-coherent entry point:
+// the L1s call fetch directly so the directory sees the requesting port.
 func (c *BankedL2) Fetch(now int64, lineAddr uint64) (penalty int, floor int64) {
-	b, tag := c.bankOf(lineAddr)
+	return c.fetch(now, lineAddr, 0, false)
+}
+
+// fetch is Fetch with the requesting port and its write intent. With
+// coherence enabled, an exclusive fetch is a read-for-ownership: remote
+// sharers are invalidated and the directory records the requester as the
+// Modified owner; a plain fetch that finds a remote Modified copy forwards
+// the dirty line through the bank (write-back forward) and downgrades the
+// owner to Shared.
+func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (penalty int, floor int64) {
+	b, set := c.bankOf(lineAddr)
 	c.advance(b, now)
 	c.Fetches++
 	for _, r := range b.inflight {
 		if r.lineAddr == lineAddr {
 			c.Merges++
 			f := c.reserveBus(b, now)
+			if c.coherent {
+				// The set's tag can have been conflict-evicted while this
+				// refill was in flight; the merge revives the line, so
+				// reinstall it (back-invalidating the interloper) before
+				// touching the directory — otherwise the join would
+				// corrupt the new occupant's sharer set.
+				if b.tags[set] != lineAddr+1 {
+					c.evictVictim(b, set, now)
+					b.tags[set] = lineAddr + 1
+					b.dir[set] = dirEntry{owner: -1}
+				}
+				if cf := c.dirJoin(b, set, lineAddr, core, exclusive, now); cf > f {
+					f = cf
+				}
+			}
 			if r.readyAt > f {
 				f = r.readyAt
 			}
@@ -192,23 +286,157 @@ func (c *BankedL2) Fetch(now int64, lineAddr uint64) (penalty int, floor int64) 
 		}
 	}
 	penalty = c.cfg.HitPenalty
+	tag := &b.tags[set]
 	if *tag == lineAddr+1 {
 		c.Hits++
+		if c.coherent {
+			if cf := c.dirJoin(b, set, lineAddr, core, exclusive, now); cf > floor {
+				floor = cf
+			}
+		}
 	} else {
 		c.Misses++
 		penalty = c.cfg.MissPenalty
+		if c.coherent {
+			c.evictVictim(b, set, now)
+			b.dir[set] = dirEntry{sharers: 1 << uint(core), owner: -1}
+			if exclusive {
+				b.dir[set].owner = int16(core)
+			}
+		}
 		*tag = lineAddr + 1
 		b.inflight = append(b.inflight, refill{lineAddr: lineAddr, readyAt: now + int64(penalty)})
 	}
-	return penalty, c.reserveBus(b, now)
+	if f := c.reserveBus(b, now); f > floor {
+		floor = f
+	}
+	return penalty, floor
+}
+
+// dirJoin records core's copy of a line already present in the L2 (tag
+// hit or in-flight merge) and performs the MSI transition its intent
+// requires, returning the cycle the coherence traffic completes.
+func (c *BankedL2) dirJoin(b *bank, set int, lineAddr uint64, core int, exclusive bool, now int64) int64 {
+	e := &b.dir[set]
+	bit := uint64(1) << uint(core)
+	floor := now
+	if exclusive {
+		if f := c.claimOwnership(b, e, lineAddr, core, now); f > floor {
+			floor = f
+		}
+	} else {
+		if e.owner >= 0 && int(e.owner) != core {
+			// M at a remote core: forward the dirty line through the bank
+			// and downgrade the owner to Shared.
+			c.WritebackForwards++
+			c.ports[e.owner].downgradeLine(now, lineAddr)
+			if f := c.reserveBus(b, now); f > floor {
+				floor = f
+			}
+			e.owner = -1
+		}
+		e.sharers |= bit
+	}
+	return floor
+}
+
+// claimOwnership invalidates every remote copy of the line and records
+// core as its Modified owner. Each invalidation message occupies the
+// bank's bus; a remote copy that was dirty additionally forwards its line
+// through the bank before ownership transfers.
+func (c *BankedL2) claimOwnership(b *bank, e *dirEntry, lineAddr uint64, core int, now int64) int64 {
+	bit := uint64(1) << uint(core)
+	floor := now
+	for others := e.sharers &^ bit; others != 0; others &= others - 1 {
+		j := bits.TrailingZeros64(others)
+		c.Invalidations++
+		_, wasDirty := c.ports[j].invalidateLine(now, lineAddr)
+		f := c.reserveBus(b, now)
+		if wasDirty {
+			c.WritebackForwards++
+			f = c.reserveBus(b, now)
+		}
+		if f > floor {
+			floor = f
+		}
+	}
+	e.sharers = bit
+	e.owner = int16(core)
+	return floor
+}
+
+// Upgrade is the store-to-Shared-line ownership path: the L1 hit a clean
+// copy and must invalidate every other copy before marking it Modified.
+// Returns the cycle the upgrade traffic completes (now when the L2 is not
+// coherent — the non-coherent hierarchy never calls it).
+func (c *BankedL2) Upgrade(now int64, lineAddr uint64, core int) int64 {
+	if !c.coherent {
+		return now
+	}
+	b, set := c.bankOf(lineAddr)
+	c.advance(b, now)
+	c.Upgrades++
+	if tag := &b.tags[set]; *tag != lineAddr+1 {
+		// Defensive: inclusion means an L1 hit implies an L2 hit, so this
+		// should be unreachable; reinstall the tag rather than corrupt the
+		// directory of whatever line the set holds.
+		c.evictVictim(b, set, now)
+		*tag = lineAddr + 1
+		b.dir[set] = dirEntry{owner: -1}
+	}
+	return c.claimOwnership(b, &b.dir[set], lineAddr, core, now)
+}
+
+// evictVictim back-invalidates the line a set is about to replace from
+// every L1 that (conservatively) holds it — the inclusion half of MSI. A
+// dirty copy surfaces as a write-back forward on its way to memory.
+func (c *BankedL2) evictVictim(b *bank, set int, now int64) {
+	e := &b.dir[set]
+	if b.tags[set] == 0 || e.sharers == 0 {
+		e.sharers, e.owner = 0, -1
+		return
+	}
+	victim := b.tags[set] - 1
+	for s := e.sharers; s != 0; s &= s - 1 {
+		j := bits.TrailingZeros64(s)
+		c.BackInvalidations++
+		_, wasDirty := c.ports[j].invalidateLine(now, victim)
+		c.reserveBus(b, now)
+		if wasDirty {
+			c.WritebackForwards++
+			c.reserveBus(b, now)
+		}
+	}
+	e.sharers, e.owner = 0, -1
 }
 
 // WriteBack lands a dirty L1 victim in the L2, occupying the bank's bus
-// for one line transfer.
+// for one line transfer. Non-coherent entry point; the L1s call writeBack
+// so the directory learns which port gave the line up.
 func (c *BankedL2) WriteBack(now int64, lineAddr uint64) {
-	b, tag := c.bankOf(lineAddr)
+	c.writeBack(now, lineAddr, 0)
+}
+
+// writeBack is WriteBack with the writing port: with coherence on, the
+// writer leaves the line's sharer set (its copy is gone) and releases
+// ownership; if the write-back lands on a set holding a different line,
+// that victim is back-invalidated first (inclusion).
+func (c *BankedL2) writeBack(now int64, lineAddr uint64, core int) {
+	b, set := c.bankOf(lineAddr)
 	c.advance(b, now)
 	c.WriteBacks++
+	tag := &b.tags[set]
+	if c.coherent {
+		if *tag != lineAddr+1 {
+			c.evictVictim(b, set, now)
+		} else {
+			e := &b.dir[set]
+			e.sharers &^= uint64(1) << uint(core)
+			if int(e.owner) == core {
+				e.owner = -1
+			}
+		}
+	}
 	*tag = lineAddr + 1
 	c.reserveBus(b, now)
 }
@@ -217,12 +445,16 @@ func (c *BankedL2) WriteBack(now int64, lineAddr uint64) {
 // zero). Aggregate them once per System, not per port.
 func (c *BankedL2) Stats() Stats {
 	return Stats{
-		L2Fetches:    c.Fetches,
-		L2Hits:       c.Hits,
-		L2Misses:     c.Misses,
-		L2Merges:     c.Merges,
-		L2WriteBacks: c.WriteBacks,
-		L2Conflicts:  c.Conflicts,
+		L2Fetches:           c.Fetches,
+		L2Hits:              c.Hits,
+		L2Misses:            c.Misses,
+		L2Merges:            c.Merges,
+		L2WriteBacks:        c.WriteBacks,
+		L2Conflicts:         c.Conflicts,
+		L2Invalidations:     c.Invalidations,
+		L2BackInvalidations: c.BackInvalidations,
+		L2Upgrades:          c.Upgrades,
+		L2WritebackForwards: c.WritebackForwards,
 	}
 }
 

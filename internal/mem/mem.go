@@ -11,6 +11,19 @@
 // The L1 here is a line-for-line port of cache.Cache with the next level
 // abstracted, and a differential test pins the two against each other on
 // randomized access streams.
+//
+// When a System is built coherent, the BankedL2 additionally runs an MSI
+// directory: each set tracks a sharer bitmask and a Modified owner next
+// to its tag, stores take ownership through an upgrade path that
+// invalidates remote L1 copies (including refills still in flight),
+// remote dirty lines are forwarded through the per-bank bus before a
+// reader or new owner proceeds, and L2 evictions back-invalidate the
+// victim's sharers so the hierarchy stays inclusive. Every coherence
+// action sits behind the coherent flag — a non-coherent hierarchy is
+// bit-for-bit the pre-coherence one — and all transitions happen
+// synchronously at access time, so the lockstep multi-core runner keeps
+// the directory deterministic. docs/ARCHITECTURE.md has the protocol
+// table.
 package mem
 
 import "repro/internal/cache"
@@ -52,6 +65,12 @@ type Stats struct {
 	L2Merges     int64 // fetches folded into an in-flight refill (cross-core)
 	L2WriteBacks int64
 	L2Conflicts  int64 // fetches/write-backs that found the bank bus busy
+
+	// MSI coherence (zero unless the System was built coherent).
+	L2Invalidations     int64 // sharing-driven invalidation messages to remote L1s
+	L2BackInvalidations int64 // inclusion: L2 victims invalidated out of sharer L1s
+	L2Upgrades          int64 // S→M ownership requests for present lines
+	L2WritebackForwards int64 // dirty remote copies forwarded through a bank
 }
 
 // Add accumulates other into s (PeakInFlight takes the maximum).
@@ -71,6 +90,10 @@ func (s *Stats) Add(other Stats) {
 	s.L2Merges += other.L2Merges
 	s.L2WriteBacks += other.L2WriteBacks
 	s.L2Conflicts += other.L2Conflicts
+	s.L2Invalidations += other.L2Invalidations
+	s.L2BackInvalidations += other.L2BackInvalidations
+	s.L2Upgrades += other.L2Upgrades
+	s.L2WritebackForwards += other.L2WritebackForwards
 }
 
 // Single adapts the original single-core cache.Cache (infinite L2, or the

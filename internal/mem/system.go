@@ -23,9 +23,18 @@ type System struct {
 // private memories and never alias, the multi-programmed default); with
 // sharedAddr true all cores address one space, so identical accesses hit
 // the same L2 lines and in-flight refills merge across cores — the
-// shared-data scenario, and the precondition for the ROADMAP's coherence
-// work.
-func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr bool) (*System, error) {
+// shared-data scenario.
+//
+// coherent activates the MSI directory over the banked L2: stores take
+// ownership of their line (invalidating remote L1 copies), remote dirty
+// lines are forwarded through the bank bus before a reader proceeds, and
+// L2 evictions back-invalidate the victim's sharers (inclusion). With
+// coherent false nothing of that machinery runs and the hierarchy is
+// bit-for-bit the pre-coherence one. Coherence is meaningful with either
+// address-space mode — namespaced cores simply never share a line, so
+// the directory records single-core sharer sets and sends no
+// invalidations — and supports at most 64 cores (the sharer bitmask).
+func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr, coherent bool) (*System, error) {
 	if cores <= 0 {
 		return nil, fmt.Errorf("mem: need at least one core, have %d", cores)
 	}
@@ -39,10 +48,16 @@ func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr bool) (*System, e
 		if err != nil {
 			return nil, err
 		}
+		p.id = i
 		if !sharedAddr {
 			p.base = uint64(i) << CoreAddrShift
 		}
 		s.l1s = append(s.l1s, p)
+	}
+	if coherent {
+		if err := shared.attachPorts(s.l1s); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }

@@ -27,6 +27,20 @@ type MulticoreConfig struct {
 	// refills — the shared-data scenario. The default (false) models
 	// private memories: no aliasing, no sharing.
 	SharedAddressSpace bool
+
+	// Coherence activates the MSI directory over the shared L2: stores
+	// invalidate remote L1 copies through an ownership/upgrade path,
+	// remote dirty lines are forwarded through the bank bus, and L2
+	// evictions back-invalidate their sharers (inclusive hierarchy). Off
+	// (the default), runs are byte-identical to the coherence-free
+	// hierarchy — no directory state exists and no invalidation traffic
+	// is modelled, exactly the PR-4 behaviour. Requires L2.Enabled and at
+	// most 64 cores. The traffic appears in Stats as L2Invalidations /
+	// L2BackInvalidations / L2Upgrades / L2WritebackForwards; the
+	// sharing-driven L2Invalidations are only nonzero when cores actually
+	// share lines (SharedAddressSpace), while upgrades and inclusion
+	// back-invalidations occur on namespaced runs too.
+	Coherence bool
 }
 
 // DefaultMulticoreConfig is n copies of the paper's core over the default
@@ -42,6 +56,9 @@ func (c MulticoreConfig) Validate() error {
 	}
 	if c.L2.Enabled && c.Core.Cache.L2Enabled {
 		return fmt.Errorf("pipeline: shared L2 and the private cache.Config L2 approximation are mutually exclusive")
+	}
+	if c.Coherence && !c.L2.Enabled {
+		return fmt.Errorf("pipeline: coherence needs the shared L2 (L2.Enabled)")
 	}
 	return c.Core.Validate()
 }
@@ -70,7 +87,8 @@ func NewMulticore(cfg MulticoreConfig, gens []trace.Generator) (*Multicore, erro
 	}
 	m := &Multicore{cfg: cfg}
 	if cfg.L2.Enabled {
-		sys, err := mem.NewSystem(mem.L1FromCacheConfig(cfg.Core.Cache), cfg.L2, cfg.Cores, cfg.SharedAddressSpace)
+		sys, err := mem.NewSystem(mem.L1FromCacheConfig(cfg.Core.Cache), cfg.L2, cfg.Cores,
+			cfg.SharedAddressSpace, cfg.Coherence)
 		if err != nil {
 			return nil, err
 		}
@@ -172,6 +190,10 @@ func (m *Multicore) Aggregate() Stats {
 		agg.L2Misses = l2.L2Misses
 		agg.L2Merges = l2.L2Merges
 		agg.L2Conflicts = l2.L2Conflicts
+		agg.L2Invalidations = l2.L2Invalidations
+		agg.L2BackInvalidations = l2.L2BackInvalidations
+		agg.L2Upgrades = l2.L2Upgrades
+		agg.L2WritebackForwards = l2.L2WritebackForwards
 	}
 	agg.WallSeconds, agg.CyclesPerSec, agg.InstrsPerSec = 0, 0, 0
 	if m.wallNanos > 0 {
@@ -217,6 +239,10 @@ func addStats(agg *Stats, st Stats) {
 	agg.L2Misses += st.L2Misses
 	agg.L2Merges += st.L2Merges
 	agg.L2Conflicts += st.L2Conflicts
+	agg.L2Invalidations += st.L2Invalidations
+	agg.L2BackInvalidations += st.L2BackInvalidations
+	agg.L2Upgrades += st.L2Upgrades
+	agg.L2WritebackForwards += st.L2WritebackForwards
 	agg.ROBOccupancySum += st.ROBOccupancySum
 	agg.IQOccupancySum += st.IQOccupancySum
 	agg.IntRegsInUseSum += st.IntRegsInUseSum

@@ -37,6 +37,18 @@
 // can actually act now. scanref.go retains the original O(ROB)-scan stage
 // implementations as a differential oracle; both kernels are
 // cycle-identical by construction and by test.
+//
+// Beyond the single-core Sim, multicore.go steps N single-thread cores in
+// cycle-lockstep against a shared memory hierarchy (internal/mem): private
+// lockup-free L1s over a banked finite shared L2, optionally with an MSI
+// coherence directory (MulticoreConfig.Coherence) whose invalidation
+// traffic surfaces in Stats as L2Invalidations / L2Upgrades /
+// L2WritebackForwards. Cores run in index order within each cycle, which
+// makes every shared-state statistic deterministic and independent of
+// host parallelism. policy.go defines the pluggable stage policies
+// (FetchPolicy, IssueSelect) and the zero-allocation Probe interface,
+// each looked up by name in a registry so engine cache keys stay
+// canonical.
 package pipeline
 
 import (

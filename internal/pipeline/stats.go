@@ -45,6 +45,16 @@ type Stats struct {
 	L2Merges    int64 // fetches folded into another core's in-flight refill
 	L2Conflicts int64 // line transfers that found their L2 bank bus busy
 
+	// MSI coherence over the shared L2 (all zero unless
+	// MulticoreConfig.Coherence is enabled). L2Invalidations counts only
+	// sharing-driven messages and is therefore zero whenever cores never
+	// share a line (namespaced address spaces); upgrades and inclusion
+	// back-invalidations occur even then.
+	L2Invalidations     int64 // sharing-driven invalidation messages to remote L1s
+	L2BackInvalidations int64 // inclusion: L2 victims invalidated out of sharer L1s
+	L2Upgrades          int64 // store S→M ownership requests for present lines
+	L2WritebackForwards int64 // dirty remote L1 copies forwarded through a bank
+
 	// Occupancy integrals (divide by Cycles for averages).
 	ROBOccupancySum int64
 	IQOccupancySum  int64

@@ -3,19 +3,29 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/mem"
 	"repro/internal/pipeline"
+	"repro/internal/synth"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// SynthWorkloadPrefix marks a multicore workload name as a synthetic
+// preset rather than a catalog kernel: "synth:sharing" runs
+// synth.ByName("sharing") on that core. Synthetic presets are stable,
+// named identities, so they participate in engine result caching like
+// catalog workloads.
+const SynthWorkloadPrefix = "synth:"
 
 // MulticoreSpec describes a multi-core run: one workload per core, each
 // core a full single-thread pipeline with a private L1, all cores behind
 // a banked finite shared L2 (or private infinite-L2 hierarchies when
 // L2.Enabled is false — with one core, exactly the paper's machine).
 type MulticoreSpec struct {
-	// Workloads names one catalog kernel per core.
+	// Workloads names one kernel per core: a catalog workload, or a
+	// synthetic preset as SynthWorkloadPrefix + name ("synth:sharing").
 	Workloads []string
 	// Config is the per-core machine.
 	Config pipeline.Config
@@ -25,8 +35,43 @@ type MulticoreSpec struct {
 	// touching the same addresses share L2 lines and merge refills)
 	// instead of the namespaced, no-aliasing default.
 	SharedAddressSpace bool
+	// Coherence runs the MSI directory over the shared L2 (see
+	// pipeline.MulticoreConfig.Coherence). Off, runs are byte-identical
+	// to the coherence-free hierarchy.
+	Coherence bool
 	// MaxInstrPerCore bounds every core's trace.
 	MaxInstrPerCore int64
+}
+
+// CheckMulticoreWorkload validates one multicore workload name — catalog
+// kernel or "synth:" preset — without building its generator, so plan
+// builders can fail fast. This is the single definition of the multicore
+// workload namespace; MulticoreWorkloadGen resolves the same names.
+func CheckMulticoreWorkload(name string) error {
+	if preset, ok := strings.CutPrefix(name, SynthWorkloadPrefix); ok {
+		if _, ok := synth.ByName(preset); !ok {
+			return fmt.Errorf("sim: unknown synthetic preset %q", name)
+		}
+		return nil
+	}
+	if _, ok := workloads.ByName(name); !ok {
+		return fmt.Errorf("sim: unknown workload %q", name)
+	}
+	return nil
+}
+
+// MulticoreWorkloadGen resolves one multicore workload name — catalog
+// kernel or "synth:" preset — to a fresh trace generator.
+func MulticoreWorkloadGen(name string) (trace.Generator, error) {
+	if err := CheckMulticoreWorkload(name); err != nil {
+		return nil, err
+	}
+	if preset, ok := strings.CutPrefix(name, SynthWorkloadPrefix); ok {
+		p, _ := synth.ByName(preset)
+		return synth.New(p), nil
+	}
+	w, _ := workloads.ByName(name)
+	return w.NewGen()
 }
 
 // MulticoreResult is the outcome of a multi-core run.
@@ -55,11 +100,7 @@ func RunMulticoreContext(ctx context.Context, spec MulticoreSpec) (MulticoreResu
 	}
 	var gens []trace.Generator
 	for _, name := range spec.Workloads {
-		w, ok := workloads.ByName(name)
-		if !ok {
-			return MulticoreResult{}, fmt.Errorf("sim: unknown workload %q", name)
-		}
-		gen, err := w.NewGen()
+		gen, err := MulticoreWorkloadGen(name)
 		if err != nil {
 			return MulticoreResult{}, err
 		}
@@ -73,6 +114,7 @@ func RunMulticoreContext(ctx context.Context, spec MulticoreSpec) (MulticoreResu
 		Core:               spec.Config,
 		L2:                 spec.L2,
 		SharedAddressSpace: spec.SharedAddressSpace,
+		Coherence:          spec.Coherence,
 	}, gens)
 	if err != nil {
 		return MulticoreResult{}, err

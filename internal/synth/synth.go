@@ -73,6 +73,55 @@ func FPStream() Params {
 	return p
 }
 
+// Sharing returns a sharing-heavy parameter set for coherence studies:
+// store-heavy traffic over the small resident set with almost no cold
+// streaming, so cores running the same seed in a shared address space
+// write the same lines in lockstep and the MSI directory ping-pongs
+// ownership between them.
+func Sharing() Params {
+	p := Defaults()
+	p.FracLoad = 0.30
+	p.FracStore = 0.30
+	p.FracBranch = 0.08
+	p.MeanDepDist = 8
+	p.MissRatio = 0.01
+	p.BiasedBranchFrac = 0.95
+	return p
+}
+
+// Preset is one named parameter set, for the CLIs and the multicore
+// workload syntax ("synth:sharing").
+type Preset struct {
+	Name        string
+	Description string
+	Params      func() Params
+}
+
+// presets mirrors the experiment/policy registries: enumerable, looked up
+// by name, default first.
+var presets = []Preset{
+	{"default", "balanced integer-program-like mix", Defaults},
+	{"fpstream", "streaming FP kernel: FP-heavy, miss-heavy, predictable branches", FPStream},
+	{"sharing", "coherence stress: store-heavy over a small resident set", Sharing},
+}
+
+// Presets lists the named parameter sets.
+func Presets() []Preset {
+	out := make([]Preset, len(presets))
+	copy(out, presets)
+	return out
+}
+
+// ByName resolves a preset name to its parameters.
+func ByName(name string) (Params, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p.Params(), true
+		}
+	}
+	return Params{}, false
+}
+
 // gen implements trace.Generator.
 type gen struct {
 	p   Params

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Docs lint, run by the CI docs job.
+
+Checks two things over README.md and docs/*.md:
+
+  1. every intra-repo markdown link resolves to an existing file or
+     directory (anchors are stripped; external http/https/mailto links
+     are ignored), so docs never point at moved or deleted files;
+  2. every fenced ```go block that is a complete file (starts with a
+     package clause) is gofmt-clean, so example code in the docs stays
+     copy-pasteable. Fragment blocks (no package clause) are skipped,
+     and the whole check is skipped with a notice when gofmt is not on
+     PATH.
+
+Exits non-zero with one line per problem.
+"""
+
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+GO_BLOCK = re.compile(r"```go\n(.*?)```", re.S)
+
+
+def check(md: Path, errors: list[str]) -> None:
+    text = md.read_text()
+    rel = md.relative_to(ROOT)
+    for m in LINK.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        if not (md.parent / path).exists():
+            errors.append(f"{rel}: broken link {target}")
+
+    gofmt = shutil.which("gofmt")
+    for block in GO_BLOCK.findall(text):
+        if not block.lstrip().startswith("package "):
+            continue
+        if gofmt is None:
+            print(f"{rel}: gofmt not found, skipping code-block check")
+            return
+        res = subprocess.run(
+            [gofmt, "-l"], input=block, capture_output=True, text=True
+        )
+        if res.returncode != 0:
+            errors.append(f"{rel}: go block fails to parse:\n{res.stderr.strip()}")
+        elif res.stdout.strip():
+            errors.append(f"{rel}: go block is not gofmt-clean")
+
+
+def main() -> int:
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        print("missing expected docs:", ", ".join(str(f) for f in missing))
+        return 1
+    errors: list[str] = []
+    for md in files:
+        check(md, errors)
+    for e in errors:
+        print(e)
+    if errors:
+        return 1
+    print(f"checkdocs: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,13 +101,25 @@ type (
 )
 
 // MulticoreSpec and MulticoreResult describe multi-core runs: one
-// workload per core, each core a full single-thread pipeline with a
-// private lockup-free L1, all cores stepped in cycle-lockstep behind a
-// banked finite shared L2 (internal/mem).
+// workload per core (a catalog kernel, or a synthetic preset named
+// "synth:<preset>" — see SynthWorkloadPrefix), each core a full
+// single-thread pipeline with a private lockup-free L1, all cores stepped
+// in cycle-lockstep behind a banked finite shared L2 (internal/mem). Set
+// SharedAddressSpace to let cores share L2 lines, and Coherence to run
+// the MSI directory over them: stores then invalidate remote L1 copies
+// through an ownership/upgrade path, dirty remote lines are forwarded
+// over the bank bus, and the traffic surfaces as Stats.L2Invalidations /
+// L2Upgrades / L2WritebackForwards. With Coherence unset, runs are
+// byte-identical to the coherence-free hierarchy.
 type (
 	MulticoreSpec   = sim.MulticoreSpec
 	MulticoreResult = sim.MulticoreResult
 )
+
+// SynthWorkloadPrefix marks a multicore workload name as a synthetic
+// preset ("synth:sharing" is the coherence experiment's sharing-heavy
+// stream) rather than a catalog kernel.
+const SynthWorkloadPrefix = sim.SynthWorkloadPrefix
 
 // L2Config sizes the banked shared L2 of a multi-core run; the zero
 // value (Enabled=false) gives every core a private infinite-L2 hierarchy
@@ -407,6 +419,11 @@ type FetchPolicyRow = experiments.FetchPolicyRow
 // MulticoreRow is one point of the multi-core scaling study (cores ×
 // register-pool scheme over the banked shared L2).
 type MulticoreRow = experiments.MulticoreRow
+
+// CoherenceRow is one point of the MSI coherence study (cores × scheme ×
+// coherence on/off on the sharing-heavy synthetic workload, with a
+// namespaced zero-invalidation control).
+type CoherenceRow = experiments.CoherenceRow
 
 // RunTable2 reproduces Table 2 (conventional vs VP write-back at 64
 // registers, max NRR), optionally with the 20-cycle miss-penalty footnote.
