@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test diff-oracle race bench tables clean
+.PHONY: check vet build test lint diff-oracle race bench tables clean
 
 # Tier-1 gate: everything must vet, build and pass.
 check: vet build test
+
+# Invariant lint: the vplint analyzers (docs/LINTING.md) over the whole
+# module, in both build-tag variants so the scan oracle stays analyzable.
+lint:
+	$(GO) run ./cmd/vplint ./...
+	$(GO) run ./cmd/vplint -tags scanoracle ./...
 
 vet:
 	$(GO) vet ./...

@@ -15,6 +15,8 @@ package cache
 import "fmt"
 
 // Config sizes the cache. NewDefault matches the paper.
+//
+//vpr:cachekey
 type Config struct {
 	SizeBytes        int
 	LineBytes        int
@@ -125,6 +127,7 @@ func (c *Cache) index(lineAddr uint64) int   { return int(lineAddr) & (len(c.lin
 // drain installs every refill that has completed by cycle now.
 func (c *Cache) drain(now int64) {
 	if now < c.now {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("cache: time went backwards (%d after %d)", now, c.now))
 	}
 	c.now = now

@@ -90,8 +90,11 @@ func NewConventionalShared(p Params, pool *SharedPool) *Conventional {
 }
 
 // Rename implements Renamer.
+//
+//vpr:hotpath
 func (c *Conventional) Rename(inum int64, in isa.Inst) (Renamed, bool) {
 	if n := c.entries.len(); n > 0 && inum <= c.entries.at(n-1).inum {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: rename out of order (%d after %d)", inum, c.entries.at(n-1).inum))
 	}
 	if in.HasDst() && c.pool.free[classIdx(in.Dst.Class)].empty() {
@@ -136,12 +139,17 @@ func (c *Conventional) renameSrc(r isa.Reg, e *convEntry, slot int) SrcOp {
 
 // AllocateAtIssue implements Renamer; the conventional scheme allocated at
 // rename, so issue never blocks on registers.
+//
+//vpr:hotpath
 func (c *Conventional) AllocateAtIssue(int64) bool { return true }
 
 // Complete implements Renamer: mark the destination value available.
+//
+//vpr:hotpath
 func (c *Conventional) Complete(inum int64) (int, bool) {
 	e := c.mustEntry(inum, "complete")
 	if e.complete {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: instruction %d completed twice", inum))
 	}
 	e.complete = true
@@ -150,15 +158,20 @@ func (c *Conventional) Complete(inum int64) (int, bool) {
 	}
 	c.ready[e.class][e.newP] = true
 	if c.params.EarlyRelease && e.prevP >= 0 {
+		//vpr:allowalloc amortized: earlyPending retains capacity across cycles
 		c.earlyPending = append(c.earlyPending, inum)
 	}
 	return e.newP, true
 }
 
 // ReadPhys implements Renamer: the tag is the physical register.
+//
+//vpr:hotpath
 func (c *Conventional) ReadPhys(class isa.RegClass, tag int) int { return tag }
 
 // LookupReady implements Renamer.
+//
+//vpr:hotpath
 func (c *Conventional) LookupReady(class isa.RegClass, tag int) bool {
 	return c.ready[classIdx(class)][tag]
 }
@@ -173,6 +186,8 @@ func (c *Conventional) SetWakeupSink(s WakeupSink) { c.sink = s }
 // have been consumed, so the early-release ablation can retire pending
 // reads. Store data operands are read at completion, not issue — freeing
 // their register any earlier would be unsound.
+//
+//vpr:hotpath
 func (c *Conventional) NoteRead(inum int64, first, second bool) {
 	if !c.params.EarlyRelease {
 		return
@@ -187,13 +202,17 @@ func (c *Conventional) NoteRead(inum int64, first, second bool) {
 }
 
 // Commit implements Renamer: free the displaced mapping.
+//
+//vpr:hotpath
 func (c *Conventional) Commit(inum int64) {
 	if c.entries.len() == 0 || c.entries.at(0).inum != inum {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: commit out of order (%d is not the oldest)", inum))
 	}
 	e := c.entries.at(0)
 	if e.hasDst {
 		if !e.complete {
+			//vpr:allowalloc panic message: an invariant violation aborts the run
 			panic(fmt.Sprintf("core: committing incomplete instruction %d", inum))
 		}
 		if e.prevP >= 0 && !e.prevFreed {
@@ -206,9 +225,12 @@ func (c *Conventional) Commit(inum int64) {
 }
 
 // Squash implements Renamer: undo the youngest rename.
+//
+//vpr:hotpath
 func (c *Conventional) Squash(inum int64) {
 	n := c.entries.len()
 	if n == 0 || c.entries.at(n-1).inum != inum {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: squash out of order (%d is not the youngest)", inum))
 	}
 	e := c.entries.at(n - 1)
@@ -231,6 +253,8 @@ func (c *Conventional) Squash(inum int64) {
 
 // Tick implements Renamer: advance the clock and the no-squash bound, and
 // run the early-release scan.
+//
+//vpr:hotpath
 func (c *Conventional) Tick(now, safe int64) {
 	c.now = now
 	if safe > c.safeBound {
@@ -248,6 +272,7 @@ func (c *Conventional) Tick(now, safe int64) {
 		if c.tryEarlyRelease(e) {
 			continue
 		}
+		//vpr:allowalloc in-place filter: kept aliases earlyPending's backing array
 		kept = append(kept, inum)
 	}
 	c.earlyPending = kept
@@ -352,6 +377,7 @@ func (c *Conventional) entry(inum int64) *convEntry {
 func (c *Conventional) mustEntry(inum int64, op string) *convEntry {
 	e := c.entry(inum)
 	if e == nil {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: %s of unknown instruction %d", op, inum))
 	}
 	return e

@@ -51,6 +51,8 @@ func (s Scheme) String() string {
 }
 
 // Params sizes a renamer. The zero value is invalid; use DefaultParams.
+//
+//vpr:cachekey
 type Params struct {
 	LogicalRegs int // per file; fixed at 32 by the ISA
 	PhysRegs    int // per file; the paper sweeps 48, 64, 96
@@ -261,5 +263,6 @@ func (f *freeList) pop() int {
 }
 
 func (f *freeList) push(r int) {
+	//vpr:allowalloc bounded: the free count never exceeds the initial capacity
 	f.regs = append(f.regs, r)
 }

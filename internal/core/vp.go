@@ -140,8 +140,11 @@ func (v *VP) Policy() AllocPolicy { return v.policy }
 
 // Rename implements Renamer. The VP scheme never stalls here: the VP pool
 // is sized (logical + window) so a tag is always available.
+//
+//vpr:hotpath
 func (v *VP) Rename(inum int64, in isa.Inst) (Renamed, bool) {
 	if n := v.entries.len(); n > 0 && inum <= v.entries.at(n-1).inum {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: rename out of order (%d after %d)", inum, v.entries.at(n-1).inum))
 	}
 	e := v.entries.pushBack(vpEntry{inum: inum, p: -1, prevVP: -1})
@@ -232,6 +235,8 @@ func (v *VP) setUsed(f, used int) {
 
 // AllocateAtIssue implements Renamer. Under the issue policy an instruction
 // with a destination may only issue once it can take a register.
+//
+//vpr:hotpath
 func (v *VP) AllocateAtIssue(inum int64) bool {
 	if v.policy != AllocAtIssue {
 		return true
@@ -250,6 +255,8 @@ func (v *VP) AllocateAtIssue(inum int64) bool {
 
 // Complete implements Renamer. Under the write-back policy this is the
 // allocation point; refusal means squash-and-re-execute.
+//
+//vpr:hotpath
 func (v *VP) Complete(inum int64) (int, bool) {
 	e := v.mustEntry(inum, "complete")
 	if !e.hasDst {
@@ -257,6 +264,7 @@ func (v *VP) Complete(inum int64) (int, bool) {
 		return -1, true
 	}
 	if e.ready {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: instruction %d completed twice", inum))
 	}
 	if e.p < 0 {
@@ -281,15 +289,20 @@ func (v *VP) Complete(inum int64) (int, bool) {
 }
 
 // ReadPhys implements Renamer via the PMT.
+//
+//vpr:hotpath
 func (v *VP) ReadPhys(class isa.RegClass, tag int) int {
 	p := v.pmt[classIdx(class)][tag]
 	if p < 0 {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: reading unmapped VP register %s/%d", class, tag))
 	}
 	return p
 }
 
 // LookupReady implements Renamer.
+//
+//vpr:hotpath
 func (v *VP) LookupReady(class isa.RegClass, tag int) bool {
 	return v.vpReady[classIdx(class)][tag]
 }
@@ -301,9 +314,13 @@ func (v *VP) TagSpace(class isa.RegClass) int { return v.params.VPRegs }
 func (v *VP) SetWakeupSink(s WakeupSink) { v.sink = s }
 
 // NoteRead implements Renamer (no-op: the VP scheme frees on commit only).
+//
+//vpr:hotpath
 func (v *VP) NoteRead(int64, bool, bool) {}
 
 // Tick implements Renamer: advance the clock for lifetime accounting.
+//
+//vpr:hotpath
 func (v *VP) Tick(now, _ int64) { v.now = now }
 
 // PressureStats implements Renamer.
@@ -312,18 +329,23 @@ func (v *VP) PressureStats() (int64, int64) { return v.lifetimeSum, v.freed }
 // Commit implements Renamer: free the previous VP register and the physical
 // register reachable through it (paper §3.2.2), then advance the PRR
 // machinery.
+//
+//vpr:hotpath
 func (v *VP) Commit(inum int64) {
 	if v.entries.len() == 0 || v.entries.at(0).inum != inum {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: commit out of order (%d is not the oldest)", inum))
 	}
 	e := v.entries.at(0)
 	if e.hasDst {
 		if !e.ready || e.p < 0 {
+			//vpr:allowalloc panic message: an invariant violation aborts the run
 			panic(fmt.Sprintf("core: committing instruction %d without its result register", inum))
 		}
 		f := e.class
 		prevP := v.pmt[f][e.prevVP]
 		if prevP < 0 {
+			//vpr:allowalloc panic message: an invariant violation aborts the run
 			panic(fmt.Sprintf("core: previous VP register %d of %d has no physical mapping at commit", e.prevVP, inum))
 		}
 		v.pmt[f][e.prevVP] = -1
@@ -355,9 +377,12 @@ func (v *VP) Commit(inum int64) {
 // Squash implements Renamer: newest-first undo per §3.2.2 — restore the
 // GMT from the previous VP mapping and return both registers to their
 // pools.
+//
+//vpr:hotpath
 func (v *VP) Squash(inum int64) {
 	n := v.entries.len()
 	if n == 0 || v.entries.at(n-1).inum != inum {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: squash out of order (%d is not the youngest)", inum))
 	}
 	e := v.entries.at(n - 1)
@@ -501,6 +526,7 @@ func (v *VP) entry(inum int64) *vpEntry {
 func (v *VP) mustEntry(inum int64, op string) *vpEntry {
 	e := v.entry(inum)
 	if e == nil {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("core: %s of unknown instruction %d", op, inum))
 	}
 	return e

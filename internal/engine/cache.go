@@ -23,6 +23,8 @@ type cacheKey [sha256.Size]byte
 // probes — pure observers — never perturb the key) and instruction budget.
 // Specs driven by an anonymous custom generator have no stable identity
 // and are reported as not cacheable.
+//
+//vpr:keyfunc sim.Spec
 func specKey(spec sim.Spec) (cacheKey, bool) {
 	if spec.Gen != nil && spec.GenID == "" {
 		return cacheKey{}, false
@@ -36,6 +38,8 @@ func specKey(spec sim.Spec) (cacheKey, bool) {
 
 // smtKey is specKey for multithreaded runs; SMT specs always name catalog
 // workloads, so they are always cacheable.
+//
+//vpr:keyfunc sim.SMTSpec
 func smtKey(spec sim.SMTSpec) cacheKey {
 	return sha256.Sum256([]byte(fmt.Sprintf("smt|%q|%d|%#v", spec.Workloads, spec.MaxInstrPerThread, spec.Config)))
 }
@@ -44,6 +48,8 @@ func smtKey(spec sim.SMTSpec) cacheKey {
 // per-core machine configuration and the memory configuration (shared-L2
 // geometry, the address-space mode and the MSI coherence switch), so two
 // specs differing only in the memory hierarchy never share a cache entry.
+//
+//vpr:keyfunc sim.MulticoreSpec
 func multicoreKey(spec sim.MulticoreSpec) cacheKey {
 	return sha256.Sum256([]byte(fmt.Sprintf("mc|%q|%d|%#v|%#v|%v|%v",
 		spec.Workloads, spec.MaxInstrPerCore, spec.Config, spec.L2,

@@ -88,6 +88,8 @@ func (e Experiment) Run(ctx context.Context, r Runner, opts Options) (any, error
 
 // registry lists every experiment in the paper's reporting order; the
 // CLIs and the vpr facade enumerate it instead of hand-maintaining lists.
+//
+//vpr:registry experiments
 var registry = []Experiment{
 	{
 		Name:       "table2",
@@ -190,6 +192,8 @@ var registry = []Experiment{
 }
 
 // Registry returns the experiments in reporting order.
+//
+//vpr:lookup experiments
 func Registry() []Experiment {
 	out := make([]Experiment, len(registry))
 	copy(out, registry)
@@ -197,6 +201,8 @@ func Registry() []Experiment {
 }
 
 // Names returns the registered experiment names in reporting order.
+//
+//vpr:lookup experiments
 func Names() []string {
 	names := make([]string, len(registry))
 	for i, e := range registry {
@@ -206,6 +212,8 @@ func Names() []string {
 }
 
 // ByName finds an experiment.
+//
+//vpr:lookup experiments
 func ByName(name string) (Experiment, bool) {
 	for _, e := range registry {
 		if e.Name == name {

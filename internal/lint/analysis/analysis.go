@@ -1,0 +1,114 @@
+// Package analysis is the dependency-free static-analysis substrate the
+// repository's linters (internal/lint, driven by cmd/vplint) run on. It
+// mirrors the golang.org/x/tools/go/analysis contract — named Analyzer
+// values with a Run hook reporting position-tagged Diagnostics over
+// type-checked syntax — without importing it: the module is intentionally
+// dependency-free (go.mod lists nothing), so the loader is built on
+// `go list -export` plus the standard library's go/parser, go/types and
+// go/importer instead of go/packages.
+//
+// One deliberate deviation from x/tools: a Pass here spans every package
+// of one load, not a single package. The repository's invariants are
+// cross-package by nature — a counter declared in internal/mem must be
+// folded in by internal/pipeline, a config struct in internal/pipeline
+// must be rendered by internal/engine's cache key — so analyzers get the
+// whole module view at once instead of reconstructing it through a fact
+// store. Diagnostics still carry precise positions and are reported per
+// construct, and the analysistest workflow (testdata fixture modules with
+// `// want` comments, see internal/lint/linttest) carries over unchanged.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// ImportPath is the canonical import path ("repro/internal/mem").
+	ImportPath string
+	// Name is the package name ("mem").
+	Name string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// GoFiles are the absolute paths of the parsed files, in the order
+	// the build system lists them (test files are never included).
+	GoFiles []string
+	// Syntax holds the parsed files, parallel to GoFiles.
+	Syntax []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo carries the type-checker's observations about Syntax.
+	TypesInfo *types.Info
+}
+
+// Analyzer is one named check. Run inspects every package of the pass and
+// reports findings through pass.Report*.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI listings
+	// (lower-case, no spaces: "hotpathalloc").
+	Name string
+	// Doc is the one-paragraph description `vplint -help` prints.
+	Doc string
+	// Run performs the analysis. A non-nil error aborts the whole lint
+	// run (it means the analyzer itself failed, not that findings
+	// exist); findings are diagnostics, never errors.
+	Run func(*Pass) error
+}
+
+// Pass carries one load of packages through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps every position in every loaded package.
+	Fset *token.FileSet
+	// Pkgs are the target packages of the load, sorted by import path.
+	// Dependencies outside the requested patterns are type-checked (their
+	// exported API is visible through go/types) but carry no syntax.
+	Pkgs []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Run executes every analyzer over the loaded packages and returns the
+// findings sorted by file position. The error reports analyzer failures,
+// not findings.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Pkgs: pkgs, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config controls a Load.
+type Config struct {
+	// Dir is the directory `go list` runs in (any directory inside the
+	// module). Empty means the current directory.
+	Dir string
+	// BuildFlags are extra `go list` flags, e.g. "-tags=scanoracle".
+	// They select which files belong to each package, so the analyzers
+	// see exactly what the tagged build compiles.
+	BuildFlags []string
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns.
+//
+// The mechanism: one `go list -e -deps -export -json` invocation resolves
+// the patterns, selects files under the configured build tags, and makes
+// the go command produce compiler export data for the full dependency
+// closure. Target packages (the pattern matches) are then parsed with
+// comments and type-checked from source; their imports resolve through
+// the export data, read by the standard library's gc importer — no
+// network, no module downloads, no third-party loader. A target that
+// fails to list, parse or type-check fails the Load: the linters refuse
+// to reason about code the compiler would reject.
+func Load(cfg Config, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(cfg, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	var targets []*listPackage
+	for _, lp := range listed {
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && lp.Name != "" {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		p, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return fset, pkgs, nil
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(cfg Config, patterns []string) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-deps", "-export", "-json"}
+	args = append(args, cfg.BuildFlags...)
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: starting go list: %w", err)
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, nil
+}
+
+// typeCheck parses one target package with comments and type-checks it
+// against the export-data importer.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	p := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+	}
+	for _, f := range lp.GoFiles {
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, f)
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		p.GoFiles = append(p.GoFiles, path)
+		p.Syntax = append(p.Syntax, file)
+	}
+	p.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := tcfg.Check(lp.ImportPath, fset, p.Syntax, p.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+	}
+	p.Types = tpkg
+	return p, nil
+}

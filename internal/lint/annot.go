@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// The //vpr: annotation grammar (docs/LINTING.md):
+//
+//	//vpr:hotpath                    on a func: per-cycle kernel root
+//	//vpr:coldpath                   on a func: cut hot-path traversal here
+//	//vpr:allowalloc [reason]        on/above a line: waive one hotpathalloc finding
+//	//vpr:stats                      on a struct: counters that must be aggregated
+//	//vpr:statsink TYPE              on a func: aggregates TYPE's counters
+//	//vpr:statsexempt [reason]       on a field: not an aggregated counter
+//	//vpr:cachekey                   on a struct: rendered into the result-cache key
+//	//vpr:keyfunc TYPE               on a func: canonical key renderer for TYPE
+//	//vpr:nocachekey [reason]        on a field: observer-only, excluded from the key
+//	//vpr:registry NAMESPACE         on a package-level var: static registration table
+//	//vpr:register NAMESPACE         on a func: runtime registration entry point
+//	//vpr:lookup NAMESPACE           on a func: registry lookup entry point
+//
+// Directives are ordinary comments starting exactly with "//vpr:"; the
+// first word after the colon is the directive name, the rest its
+// arguments. They ride in doc comments (functions, types, vars, fields)
+// or stand on/immediately above the line they waive.
+
+// directive is one parsed //vpr: annotation.
+type directive struct {
+	name string
+	args []string
+	pos  token.Pos
+}
+
+const directivePrefix = "//vpr:"
+
+// parseDirectives extracts directives from comment groups.
+func parseDirectives(groups ...*ast.CommentGroup) []directive {
+	var out []directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			fields := strings.Fields(c.Text[len(directivePrefix):])
+			if len(fields) == 0 {
+				continue
+			}
+			out = append(out, directive{name: fields[0], args: fields[1:], pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether name appears among ds.
+func hasDirective(ds []directive, name string) bool {
+	for _, d := range ds {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDirectives returns the directives of a function declaration.
+func funcDirectives(fd *ast.FuncDecl) []directive {
+	return parseDirectives(fd.Doc)
+}
+
+// fieldDirectives returns the directives of one struct field (doc comment
+// or trailing line comment).
+func fieldDirectives(f *ast.Field) []directive {
+	return parseDirectives(f.Doc, f.Comment)
+}
+
+// waiverLines indexes, per file, the lines carrying a given line-waiver
+// directive (e.g. allowalloc). A construct at line L is waived by a
+// directive on L (trailing comment) or L-1 (the line above).
+type waiverLines map[string]map[int]bool
+
+func collectWaiverLines(fset *token.FileSet, pkgs []*analysis.Package, name string) waiverLines {
+	w := make(waiverLines)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, g := range file.Comments {
+				for _, d := range parseDirectives(g) {
+					if d.name != name {
+						continue
+					}
+					pos := fset.Position(d.pos)
+					lines := w[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						w[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+				}
+			}
+		}
+	}
+	return w
+}
+
+// waived reports whether the construct at pos carries a waiver on its own
+// line or the line immediately above.
+func (w waiverLines) waived(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines := w[p.Filename]
+	return lines != nil && (lines[p.Line] || lines[p.Line-1])
+}
+
+// typeRefMatches reports whether a directive argument ("Stats",
+// "mem.Stats") names the given struct, declared as typeName in the
+// package named pkgName. Same-package references may omit the package
+// name; cross-package references use the package name (not the import
+// path), which is unambiguous within this module.
+func typeRefMatches(arg, pkgName, typeName string) bool {
+	if arg == typeName {
+		return true
+	}
+	return arg == pkgName+"."+typeName
+}
+
+// namedDeref unwraps pointers and returns the named type of t, if any.
+func namedDeref(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// namedFullName renders a named type as "importpath.Name", the canonical
+// cross-package identity used to match objects between a package
+// type-checked from source and the same package imported from export
+// data.
+func namedFullName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// calleeOf resolves the static callee of a call expression: a declared
+// function or a method of a concrete type. Interface method calls
+// resolve to the interface's method object, which never matches a
+// declaration index — exactly the conservative behaviour the hot-path
+// traversal wants.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// declFullName returns the canonical identity of a declared function —
+// types.Func.FullName: "repro/internal/mem.NewL1" for functions,
+// "(*repro/internal/mem.L1).Access" for methods.
+func declFullName(info *types.Info, fd *ast.FuncDecl) string {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// funcIndex maps every declared function/method of the loaded packages to
+// its declaration and package.
+type funcDecl struct {
+	pkg  *analysis.Package
+	decl *ast.FuncDecl
+}
+
+func indexFuncs(pkgs []*analysis.Package) map[string]funcDecl {
+	idx := make(map[string]funcDecl)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if name := declFullName(pkg.TypesInfo, fd); name != "" {
+					idx[name] = funcDecl{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// enclosure classifies where in a file a position sits: inside an init
+// function, inside some other function, or at package level (var/const
+// initializers, type declarations).
+type enclosure int
+
+const (
+	atPackageLevel enclosure = iota
+	inInitFunc
+	inOtherFunc
+)
+
+// encloserAt walks the file's top-level declarations to classify pos.
+func encloserAt(file *ast.File, pos token.Pos) enclosure {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				return inInitFunc
+			}
+			return inOtherFunc
+		}
+	}
+	return atPackageLevel
+}

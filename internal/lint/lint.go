@@ -1,0 +1,18 @@
+// Package lint holds the repository's invariant analyzers — the checks
+// every PR used to re-verify by hand, mechanized over the type-checked
+// syntax the internal/lint/analysis loader produces. cmd/vplint is the
+// multichecker front end; docs/LINTING.md documents each analyzer and
+// the //vpr: annotation grammar they consume.
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAlloc,
+		StatsFlow,
+		CacheKey,
+		RegHygiene,
+	}
+}

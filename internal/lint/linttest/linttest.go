@@ -1,0 +1,103 @@
+// Package linttest is the fixture-driven test harness for the vplint
+// analyzers — the analysistest workflow on the internal substrate. A
+// testdata directory holds a self-contained fixture module (its own
+// go.mod, so the repo's build never sees it) whose sources carry
+//
+//	expr // want `regex` `regex`
+//
+// comments naming, by line, the diagnostics the analyzers must produce
+// there. Run loads the module through the real loader, runs the
+// analyzers, and fails the test on any unexpected diagnostic or any
+// unmet expectation — so every fixture proves both that the analyzer
+// fires on the violation and that it stays quiet on the conforming code
+// around it.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// want is one expectation: a diagnostic on file:line matching re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantLine = regexp.MustCompile("// want ((?:`[^`]*` ?)+)")
+	wantArg  = regexp.MustCompile("`([^`]*)`")
+)
+
+// Run loads the fixture module rooted at dir and checks the analyzers'
+// diagnostics against its // want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset, pkgs, err := analysis.Load(analysis.Config{Dir: dir}, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants := collectWants(t, fset, pkgs)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]",
+				pos.Filename, pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %v", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts every // want expectation from the fixture's
+// comments; the expectation applies to the line the comment starts on.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					m := wantLine.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, arg := range wantArg.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(arg[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v",
+								pos.Filename, pos.Line, arg[1], err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first open expectation on the diagnostic's line that
+// its message satisfies.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

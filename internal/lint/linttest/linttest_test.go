@@ -1,0 +1,28 @@
+package linttest_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each fixture module seeds at least one violation per diagnostic family
+// next to conforming code, so these tests prove both directions: the
+// analyzer fires where it must and stays quiet where it must not.
+
+func TestHotPathAllocFixture(t *testing.T) {
+	linttest.Run(t, "testdata/hotpathalloc", lint.HotPathAlloc)
+}
+
+func TestStatsFlowFixture(t *testing.T) {
+	linttest.Run(t, "testdata/statsflow", lint.StatsFlow)
+}
+
+func TestCacheKeyFixture(t *testing.T) {
+	linttest.Run(t, "testdata/cachekey", lint.CacheKey)
+}
+
+func TestRegHygieneFixture(t *testing.T) {
+	linttest.Run(t, "testdata/reghygiene", lint.RegHygiene)
+}

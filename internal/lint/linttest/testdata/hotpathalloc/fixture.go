@@ -1,0 +1,41 @@
+// Package fixture seeds hotpathalloc violations: a //vpr:hotpath root
+// that allocates directly, a plain callee that allocates on its behalf,
+// a //vpr:coldpath cut the traversal must not cross, an //vpr:allowalloc
+// waiver, and unannotated code that may allocate freely.
+package fixture
+
+import "fmt"
+
+// Step is the per-cycle root.
+//
+//vpr:hotpath
+func Step(xs []int, n int) []int {
+	xs = append(xs, n) // want `append \(growth allocates without preallocated capacity\) in hot-path function fixture.Step`
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: bad %d", n)) // want `fmt.Sprintf call \(allocates\) in hot-path function fixture.Step`
+	}
+	helper(n)
+	report(n)
+	//vpr:allowalloc fixture waiver: proves the escape hatch works
+	waived := make([]int, n)
+	_ = waived
+	return xs
+}
+
+// helper has no annotation of its own: it is hot because Step calls it.
+func helper(n int) {
+	_ = []int{n} // want `slice literal \(allocates\) in hot-path function fixture.helper \(hot path via fixture.Step\)`
+}
+
+// report is diagnostics-only, cut out of the hot traversal: the Sprint
+// below must not be flagged.
+//
+//vpr:coldpath
+func report(n int) {
+	_ = fmt.Sprint(n)
+}
+
+// Setup is unannotated: allocation is fine outside the hot path.
+func Setup(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,55 @@
+// Package fixture seeds reghygiene violations: a duplicate name in a
+// //vpr:registry table, a //vpr:register call and a registry write after
+// program start, a non-constant registration name, and a //vpr:lookup
+// call made during initialization — alongside the conforming init-time
+// registration path.
+package fixture
+
+// Thing is one registry entry.
+type Thing struct{ Name string }
+
+// registry is the static table.
+//
+//vpr:registry things
+var registry = []Thing{
+	{Name: "alpha"},
+	{Name: "beta"},
+	{Name: "alpha"}, // want `duplicate name "alpha" in registry namespace "things"`
+}
+
+// Register adds a thing; legal only while initializing.
+//
+//vpr:register things
+func Register(name string) {
+	registry = append(registry, Thing{Name: name})
+}
+
+// ByName resolves a thing; legal only after initialization.
+//
+//vpr:lookup things
+func ByName(name string) (Thing, bool) {
+	for _, t := range registry {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Thing{}, false
+}
+
+func init() {
+	Register("gamma")
+	Register(pick())       // want `//vpr:register things call with a non-constant name`
+	_, _ = ByName("alpha") // want `//vpr:lookup things function ByName called during package initialization`
+}
+
+func pick() string { return "delta" }
+
+// Late runs after program start: neither registering nor mutating the
+// table is safe here.
+func Late() {
+	Register("epsilon") // want `call to //vpr:register things function Register outside init`
+	registry = nil      // want `registry "things" is mutated outside init`
+}
+
+// Use is the legal consumer path.
+func Use() (Thing, bool) { return ByName("beta") }

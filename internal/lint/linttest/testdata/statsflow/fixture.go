@@ -1,0 +1,29 @@
+// Package fixture seeds statsflow violations: a //vpr:stats struct with
+// one counter its //vpr:statsink aggregate drops, one it folds in, one
+// explicitly exempted — and a second stats struct with no sink at all.
+package fixture
+
+// Stats is the counter set the sink below must fold completely.
+//
+//vpr:stats
+type Stats struct {
+	Hits   int64
+	Misses int64 // want `counter fixture.Stats.Misses is not referenced by any //vpr:statsink aggregate`
+	// Debug is derived at print time, never merged.
+	//vpr:statsexempt display only
+	Debug int64
+}
+
+// Add folds src into s — but forgets Misses.
+//
+//vpr:statsink Stats
+func (s *Stats) Add(src Stats) {
+	s.Hits += src.Hits
+}
+
+// Orphan has counters and no aggregate anywhere.
+//
+//vpr:stats
+type Orphan struct { // want `//vpr:stats struct fixture.Orphan has no //vpr:statsink aggregate`
+	N int64
+}

@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// TestRepoClean runs every analyzer over the repository itself, in both
+// build-tag variants, and requires zero findings: the tree must stay
+// lint-clean, and any new invariant violation fails `go test ./...`
+// before it ever reaches CI.
+func TestRepoClean(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		flags []string
+	}{
+		{name: "default", flags: nil},
+		{name: "scanoracle", flags: []string{"-tags=scanoracle"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, pkgs, err := analysis.Load(analysis.Config{Dir: "../..", BuildFlags: tc.flags}, "./...")
+			if err != nil {
+				t.Fatalf("loading repo: %v", err)
+			}
+			diags, err := analysis.Run(fset, pkgs, lint.Analyzers())
+			if err != nil {
+				t.Fatalf("running analyzers: %v", err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+			}
+		})
+	}
+}
+
+// TestVplintExitsZero drives the real cmd/vplint binary the way CI does
+// and requires a clean exit — the module-level acceptance check.
+func TestVplintExitsZero(t *testing.T) {
+	cmd := exec.Command("go", "run", "./cmd/vplint", "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/vplint ./... failed: %v\n%s", err, out)
+	}
+}

@@ -118,6 +118,7 @@ func (l *L1) index(lineAddr uint64) int { return int(lineAddr) & (len(l.lines) -
 // in cache.Cache.
 func (l *L1) drain(now int64) {
 	if now < l.now {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("mem: time went backwards (%d after %d)", now, l.now))
 	}
 	l.now = now
@@ -137,6 +138,8 @@ func (l *L1) drain(now int64) {
 }
 
 // Drain implements Memory.
+//
+//vpr:hotpath
 func (l *L1) Drain(now int64) { l.drain(now) }
 
 // Access performs a load (write=false) or store (write=true) of the word
@@ -145,6 +148,8 @@ func (l *L1) Drain(now int64) { l.drain(now) }
 // merge, MSHR allocation, dirty-victim write-back, then the refill
 // schedule — with the next-level penalty and bank-bus floor supplied by
 // the shared L2 instead of a constant.
+//
+//vpr:hotpath
 func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 	l.drain(now)
 	l.st.Accesses++

@@ -10,6 +10,8 @@ import (
 // BankBusCycles=0, HitPenalty equal to the L1's MissPenalty and
 // MissPenalty equal to the old L2MissPenalty, the timing is cycle-exact
 // with that mode (a differential test pins this).
+//
+//vpr:cachekey
 type L2Config struct {
 	// Enabled gates the shared-L2 path of a multi-core configuration;
 	// disabled, every core keeps a private L1 over an infinite L2 (the
@@ -165,6 +167,14 @@ func NewBankedL2(cfg L2Config, lineBytes int) (*BankedL2, error) {
 	return l2, nil
 }
 
+// preallocInflight sizes every bank's refill list for the worst case so
+// the per-miss append in fetch never grows the backing array.
+func (c *BankedL2) preallocInflight(maxInflight int) {
+	for i := range c.banks {
+		c.banks[i].inflight = make([]refill, 0, maxInflight)
+	}
+}
+
 // Config returns the configuration the L2 was built with.
 func (c *BankedL2) Config() L2Config { return c.cfg }
 
@@ -212,12 +222,14 @@ func (c *BankedL2) bankOf(lineAddr uint64) (*bank, int) {
 // cycles) and expires completed refills of the touched bank.
 func (c *BankedL2) advance(b *bank, now int64) {
 	if now < c.now {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("mem: L2 time went backwards (%d after %d)", now, c.now))
 	}
 	c.now = now
 	keep := b.inflight[:0]
 	for _, r := range b.inflight {
 		if r.readyAt > now {
+			//vpr:allowalloc in-place filter: keep aliases inflight's backing array
 			keep = append(keep, r)
 		}
 	}
@@ -305,6 +317,7 @@ func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (
 			}
 		}
 		*tag = lineAddr + 1
+		//vpr:allowalloc bounded: capacity preallocated to cores*MSHRs by NewSystem
 		b.inflight = append(b.inflight, refill{lineAddr: lineAddr, readyAt: now + int64(penalty)})
 	}
 	if f := c.reserveBus(b, now); f > floor {

@@ -48,6 +48,8 @@ type Memory interface {
 // finite L2 of the single-core fast path, or a core's share of the banked
 // shared L2 (zero on L1 ports of a System: the shared counters are
 // reported once, by the System, so aggregates never double-count).
+//
+//vpr:stats
 type Stats struct {
 	// L1.
 	Accesses     int64
@@ -74,6 +76,8 @@ type Stats struct {
 }
 
 // Add accumulates other into s (PeakInFlight takes the maximum).
+//
+//vpr:statsink Stats
 func (s *Stats) Add(other Stats) {
 	s.Accesses += other.Accesses
 	s.Hits += other.Hits
@@ -105,11 +109,15 @@ type Single struct{ C *cache.Cache }
 func NewSingle(c *cache.Cache) Single { return Single{C: c} }
 
 // Access implements Memory.
+//
+//vpr:hotpath
 func (s Single) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 	return s.C.Access(now, addr, write)
 }
 
 // Drain implements Memory.
+//
+//vpr:hotpath
 func (s Single) Drain(now int64) { s.C.Drain(now) }
 
 // Stats implements Memory.

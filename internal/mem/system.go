@@ -43,6 +43,10 @@ func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr, coherent bool) (
 		return nil, err
 	}
 	s := &System{l2: shared}
+	// Each core's L1 keeps at most MSHRs lines in flight, so a bank can
+	// never track more than cores×MSHRs refills: preallocating that bound
+	// keeps the per-miss refill append off the allocator (hotpathalloc).
+	shared.preallocInflight(cores * l1.MSHRs)
 	for i := 0; i < cores; i++ {
 		p, err := NewL1(l1, shared)
 		if err != nil {

@@ -21,6 +21,7 @@ func (s *Sim) commitStage(now int64) error {
 				}
 				s.sbPush(th.addr(e.rec.EA))
 				if th.sqN == 0 || th.sqAt(0).inum != e.inum {
+					//vpr:allowalloc error path: the failed run allocates once and stops
 					return fmt.Errorf("pipeline: store queue out of sync at commit of %d", e.inum)
 				}
 				th.sqPopFront()

@@ -32,6 +32,11 @@ func (d Disambiguation) String() string {
 
 // Config describes the simulated processor. DefaultConfig reproduces the
 // paper's §4.1 machine.
+//
+// Config is rendered into the engine's result-cache key via %#v, so every
+// behavioral field must render canonically (see docs/LINTING.md).
+//
+//vpr:cachekey
 type Config struct {
 	FetchWidth  int
 	DecodeWidth int

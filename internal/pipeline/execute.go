@@ -44,6 +44,7 @@ func (s *Sim) executeStage(now int64) error {
 			case e.isStore:
 				sqe := th.sqEntry(e.inum)
 				if sqe == nil {
+					//vpr:allowalloc error path: the failed run allocates once and stops
 					return fmt.Errorf("pipeline: store %d missing from store queue", e.inum)
 				}
 				if !sqe.eaKnown {
@@ -123,6 +124,7 @@ func (s *Sim) tryLoad(th *thread, e *robEntry, now int64, ports *int) error {
 	if match != nil {
 		producer := th.entryByInum(match.inum)
 		if producer == nil {
+			//vpr:allowalloc error path: the failed run allocates once and stops
 			return fmt.Errorf("pipeline: forwarding store %d not in window", match.inum)
 		}
 		if !producer.src2Ready {
@@ -179,12 +181,14 @@ func (s *Sim) squashFrom(th *thread, inum int64, now int64) error {
 	for n := tail; n >= inum; n-- {
 		e := th.entryByInum(n)
 		if e == nil {
+			//vpr:allowalloc error path: the failed run allocates once and stops
 			return fmt.Errorf("pipeline: squash of %d not in window", n)
 		}
 		s.leaveIQ(e)
 		th.ren.Squash(n)
 		if e.isStore {
 			if th.sqN == 0 || th.sqAt(th.sqN-1).inum != n {
+				//vpr:allowalloc error path: the failed run allocates once and stops
 				return fmt.Errorf("pipeline: store queue out of sync squashing %d", n)
 			}
 			th.sqPopBack()

@@ -23,7 +23,9 @@ func (s *Sim) fetchStage(now int64) {
 		if !s.canFetch(th, now) {
 			continue
 		}
+		//vpr:allowalloc amortized: stage buffers retain capacity across cycles
 		cands = append(cands, FetchCandidate{TID: th.id, InFlight: th.robCount, Buffered: th.fbN})
+		//vpr:allowalloc amortized: stage buffers retain capacity across cycles
 		ths = append(ths, th)
 	}
 	s.fetchCands, s.fetchCandTh = cands, ths

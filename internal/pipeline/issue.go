@@ -37,6 +37,7 @@ func (s *Sim) issueStage(now int64) error {
 				return err
 			}
 			if !issued {
+				//vpr:allowalloc amortized: stage buffers retain capacity across cycles
 				kept = append(kept, ref)
 			}
 		}
@@ -59,6 +60,7 @@ func (s *Sim) issueRanked(now int64) error {
 			if e == nil || e.gen != ref.gen || e.st != stWaiting || !e.ready() {
 				continue // stale reference; dropped at compaction below
 			}
+			//vpr:allowalloc amortized: stage buffers retain capacity across cycles
 			cands = append(cands, IssueCandidate{
 				Inum:    ref.inum,
 				Latency: e.rec.Inst.Op.Info().Latency,
@@ -87,6 +89,7 @@ func (s *Sim) issueRanked(now int64) error {
 			if e == nil || e.gen != ref.gen || !e.inReadyQ {
 				continue
 			}
+			//vpr:allowalloc amortized: stage buffers retain capacity across cycles
 			kept = append(kept, ref)
 		}
 		th.readyQ = kept

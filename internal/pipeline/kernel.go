@@ -83,6 +83,18 @@ func (w *wheel) init(slots int) {
 	}
 	w.slots = make([][]wevent, slots)
 	w.mask = int64(slots - 1)
+	// Carve every slot's initial capacity out of one flat arena: a
+	// typical cycle schedules a handful of events per slot, and growing
+	// hundreds of nil-backed slot lists individually through the
+	// allocator was a measurable share of a run's allocations. Slots
+	// that outgrow their window reallocate individually and keep the
+	// larger capacity (drain returns evs[:0]); the three-index slice
+	// keeps such growth from bleeding into the next slot's window.
+	const perSlot = 4
+	arena := make([]wevent, slots*perSlot)
+	for i := range w.slots {
+		w.slots[i] = arena[i*perSlot : i*perSlot : (i+1)*perSlot]
+	}
 }
 
 // schedule files ev for cycle due and returns the cycle it will actually
@@ -98,8 +110,10 @@ func (w *wheel) schedule(now int64, ev wevent) int64 {
 	}
 	if ev.due-now <= w.mask {
 		slot := ev.due & w.mask
+		//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 		w.slots[slot] = append(w.slots[slot], ev)
 	} else {
+		//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 		w.overflow = append(w.overflow, ev)
 	}
 	return ev.due
@@ -111,8 +125,10 @@ func (w *wheel) drain(now int64, deliver func(ev wevent)) {
 		kept := w.overflow[:0]
 		for _, ev := range w.overflow {
 			if ev.due-now <= w.mask {
+				//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 				w.slots[ev.due&w.mask] = append(w.slots[ev.due&w.mask], ev)
 			} else {
+				//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 				kept = append(kept, ev)
 			}
 		}
@@ -152,6 +168,7 @@ func (p *poolState) tick(now int64) {
 // take occupies one unit until cycle until.
 func (p *poolState) take(now, until int64) {
 	if until-now >= int64(len(p.rel)) {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("pipeline: functional-unit occupancy %d exceeds the release-wheel horizon %d",
 			until-now, len(p.rel)))
 	}
@@ -171,7 +188,18 @@ func (s *Sim) tickPools(now int64) {
 // to recovery through the wakeup sink.
 func (s *Sim) initThreadEv(th *thread) {
 	for f := 0; f < 2; f++ {
-		th.waiters[f] = make([][]waiter, th.ren.TagSpace(classOfIdx(f)))
+		tags := th.ren.TagSpace(classOfIdx(f))
+		th.waiters[f] = make([][]waiter, tags)
+		// Same flat-arena trick as wheel.init: most tags collect only a
+		// couple of waiters, and first-touch growth of every per-tag nil
+		// slice was the hot loop's largest allocation source. Tags that
+		// outgrow the window reallocate individually and keep the
+		// capacity (TagSquashed resets to [:0]).
+		const perTag = 4
+		arena := make([]waiter, tags*perTag)
+		for t := range th.waiters[f] {
+			th.waiters[f][t] = arena[t*perTag : t*perTag : (t+1)*perTag]
+		}
 	}
 	th.readyQ = make([]evRef, 0, 64)
 	th.wbPend = make([]evRef, 0, 64)
@@ -187,6 +215,8 @@ type threadSink struct{ th *thread }
 // tag, so waiters filed under it are dead (they are younger than the
 // squashed producer and were squashed with it) and must not be woken by a
 // later reuse of the tag.
+//
+//vpr:hotpath
 func (k *threadSink) TagSquashed(class isa.RegClass, tag int) {
 	f := classIdxOf(class)
 	k.th.waiters[f][tag] = k.th.waiters[f][tag][:0]
@@ -205,14 +235,33 @@ func classOfIdx(f int) isa.RegClass {
 // so an insertion memmove beats a heap.
 func insertRef(list []evRef, r evRef) []evRef {
 	n := len(list)
+	//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 	if n == 0 || list[n-1].inum < r.inum {
+		//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 		return append(list, r)
 	}
-	i := sort.Search(n, func(k int) bool { return list[k].inum >= r.inum })
+	i := searchRefs(list, r.inum)
+	//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 	list = append(list, evRef{})
 	copy(list[i+1:], list[i:])
 	list[i] = r
 	return list
+}
+
+// searchRefs is sort.Search(len(list), func(k) {list[k].inum >= inum})
+// open-coded: the closure a sort.Search call captures escapes and costs
+// one allocation per wakeup event, which hotpathalloc rejects.
+func searchRefs(list []evRef, inum int64) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].inum < inum {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // removeRefAt deletes index i preserving order.
@@ -224,8 +273,7 @@ func removeRefAt(list []evRef, i int) []evRef {
 // purgeRefsFrom drops every reference to instructions at or after inum —
 // the squash range is always a window suffix.
 func purgeRefsFrom(list []evRef, inum int64) []evRef {
-	i := sort.Search(len(list), func(k int) bool { return list[k].inum >= inum })
-	return list[:i]
+	return list[:searchRefs(list, inum)]
 }
 
 // enqueueReady files a dispatched instruction whose operands are ready
@@ -243,10 +291,12 @@ func (s *Sim) enqueueReady(th *thread, e *robEntry) {
 func (s *Sim) registerWaiters(th *thread, e *robEntry) {
 	if op := e.ren.Src1; !e.src1Ready && op.Present && !op.Zero {
 		f := classIdxOf(op.Class)
+		//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 		th.waiters[f][op.Tag] = append(th.waiters[f][op.Tag], waiter{inum: e.inum, gen: e.gen, slot: 0})
 	}
 	if op := e.ren.Src2; !e.src2Ready && op.Present && !op.Zero {
 		f := classIdxOf(op.Class)
+		//vpr:allowalloc amortized: scheduler lists retain capacity across cycles
 		th.waiters[f][op.Tag] = append(th.waiters[f][op.Tag], waiter{inum: e.inum, gen: e.gen, slot: 1})
 	}
 }
@@ -266,6 +316,8 @@ func (s *Sim) purgeThreadEv(th *thread, inum int64) {
 // reorder-buffer scan (Debug mode): every issueable instruction must be in
 // the ready queue, every completable store in the write-back pending list,
 // and the queues must be inum-sorted.
+//
+//vpr:coldpath
 func (s *Sim) checkEvInvariants(th *thread) error {
 	for _, q := range [][]evRef{th.readyQ, th.wbPend, th.aguPend} {
 		for i := 1; i < len(q); i++ {

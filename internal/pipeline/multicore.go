@@ -16,6 +16,8 @@ import (
 // its private Core.Cache hierarchy — with one core that is exactly the
 // paper's machine, and Multicore produces byte-identical statistics to
 // Sim.
+//
+//vpr:cachekey
 type MulticoreConfig struct {
 	Cores int
 	Core  Config
@@ -149,6 +151,7 @@ func (m *Multicore) RunContext(ctx context.Context, maxCommitsPerCore int64) (St
 	return m.Aggregate(), err
 }
 
+//vpr:hotpath
 func (m *Multicore) runLoop(ctx context.Context, maxCommitsPerCore int64) error {
 	sinceCheck := 0
 	for {
@@ -165,6 +168,7 @@ func (m *Multicore) runLoop(ctx context.Context, maxCommitsPerCore int64) error 
 			}
 			active = true
 			if err := c.Step(); err != nil {
+				//vpr:allowalloc error path: the failed run allocates once and stops
 				return fmt.Errorf("pipeline: core %d: %w", i, err)
 			}
 		}
@@ -178,6 +182,8 @@ func (m *Multicore) runLoop(ctx context.Context, maxCommitsPerCore int64) error 
 // occupancies take the maximum, and the shared L2's counters are folded
 // in exactly once. Throughput fields reflect the lockstep loop's host
 // wall-clock.
+//
+//vpr:statsink Stats
 func (m *Multicore) Aggregate() Stats {
 	var agg Stats
 	for _, c := range m.cores {
@@ -207,6 +213,8 @@ func (m *Multicore) Aggregate() Stats {
 // addStats accumulates one core's statistics into agg: Cycles and the
 // peak-occupancy gauge take the maximum (the cores run in lockstep),
 // everything else adds.
+//
+//vpr:statsink Stats
 func addStats(agg *Stats, st Stats) {
 	if st.Cycles > agg.Cycles {
 		agg.Cycles = st.Cycles

@@ -16,6 +16,8 @@ import "fmt"
 // zero value selects the paper's §4.1 machine everywhere: round-robin
 // fetch (with one thread, the paper's front end), oldest-first issue
 // selection, and no observation.
+//
+//vpr:cachekey
 type Policies struct {
 	// Fetch decides which hardware thread receives the front end's
 	// bandwidth each cycle. nil selects round-robin.
@@ -24,7 +26,11 @@ type Policies struct {
 	// nil selects oldest-first.
 	Issue IssueSelect
 	// Probe, when non-nil, observes kernel events (see Probe). Probes
-	// never change simulation results.
+	// never change simulation results, so GoString excludes them from
+	// the result-cache key (the engine bypasses cache reads for probed
+	// runs instead).
+	//
+	//vpr:nocachekey pure observer; the engine bypasses the cache for probed runs
 	Probe Probe
 }
 
@@ -253,6 +259,7 @@ type PolicyInfo struct {
 	Description string
 }
 
+//vpr:registry fetch-policies
 var fetchRegistry = []struct {
 	info PolicyInfo
 	pol  FetchPolicy
@@ -261,6 +268,7 @@ var fetchRegistry = []struct {
 	{PolicyInfo{FetchICount, "fewest in-flight instructions first (Tullsen-style SMT fetch gating)"}, icountFetch{}},
 }
 
+//vpr:registry issue-policies
 var issueRegistry = []struct {
 	info PolicyInfo
 	sel  IssueSelect
@@ -271,6 +279,8 @@ var issueRegistry = []struct {
 }
 
 // FetchPolicies lists the registered fetch policies, default first.
+//
+//vpr:lookup fetch-policies
 func FetchPolicies() []PolicyInfo {
 	out := make([]PolicyInfo, len(fetchRegistry))
 	for i, e := range fetchRegistry {
@@ -280,6 +290,8 @@ func FetchPolicies() []PolicyInfo {
 }
 
 // FetchPolicyByName returns the registered fetch policy.
+//
+//vpr:lookup fetch-policies
 func FetchPolicyByName(name string) (FetchPolicy, bool) {
 	for _, e := range fetchRegistry {
 		if e.info.Name == name {
@@ -290,6 +302,8 @@ func FetchPolicyByName(name string) (FetchPolicy, bool) {
 }
 
 // IssueSelects lists the registered issue-select heuristics, default first.
+//
+//vpr:lookup issue-policies
 func IssueSelects() []PolicyInfo {
 	out := make([]PolicyInfo, len(issueRegistry))
 	for i, e := range issueRegistry {
@@ -299,6 +313,8 @@ func IssueSelects() []PolicyInfo {
 }
 
 // IssueSelectByName returns the registered issue-select heuristic.
+//
+//vpr:lookup issue-policies
 func IssueSelectByName(name string) (IssueSelect, bool) {
 	for _, e := range issueRegistry {
 		if e.info.Name == name {

@@ -53,6 +53,7 @@ func (s *Sim) writebackScan(now int64) error {
 					}
 					th.ren.NoteRead(e.inum, false, true) // data operand read now
 					if _, ok := th.ren.Complete(e.inum); !ok {
+						//vpr:allowalloc error path: the failed run allocates once and stops
 						return fmt.Errorf("pipeline: store %d refused completion", e.inum)
 					}
 					e.st = stCompleted
@@ -145,6 +146,7 @@ func (s *Sim) executeScan(now int64) error {
 			case e.isStore:
 				sqe := th.sqEntry(e.inum)
 				if sqe == nil {
+					//vpr:allowalloc error path: the failed run allocates once and stops
 					return fmt.Errorf("pipeline: store %d missing from store queue", e.inum)
 				}
 				if !sqe.eaKnown {

@@ -552,6 +552,8 @@ func (s *Sim) runLoop(ctx context.Context, maxCommits int64) error {
 // same cycle (full bypassing), identically for every renaming scheme.
 // Shared budgets (commit/issue/decode width, ports) rotate their starting
 // thread every cycle for fairness.
+//
+//vpr:hotpath
 func (s *Sim) Step() error {
 	now := s.cycle
 	if s.probe != nil {
@@ -578,16 +580,19 @@ func (s *Sim) Step() error {
 	if s.cfg.Debug {
 		for _, th := range s.threads {
 			if err := th.ren.CheckInvariants(); err != nil {
+				//vpr:allowalloc error path: the failed run allocates once and stops
 				return fmt.Errorf("cycle %d thread %d: %w", now, th.id, err)
 			}
 			if !s.scan {
 				if err := s.checkEvInvariants(th); err != nil {
+					//vpr:allowalloc error path: the failed run allocates once and stops
 					return fmt.Errorf("cycle %d thread %d: %w", now, th.id, err)
 				}
 			}
 		}
 	}
 	if now-s.lastCommitCycle > s.cfg.DeadlockCycles {
+		//vpr:allowalloc error path: the failed run allocates once and stops
 		return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (%s): deadlock",
 			s.cfg.DeadlockCycles, now, s.describeHeads())
 	}
@@ -596,6 +601,7 @@ func (s *Sim) Step() error {
 	return nil
 }
 
+//vpr:coldpath
 func (s *Sim) describeHeads() string {
 	var b strings.Builder
 	for _, th := range s.threads {

@@ -5,6 +5,8 @@ import "fmt"
 // Stats aggregates everything a run measures. IPC (committed instructions
 // per cycle) is the paper's headline metric; the register-pressure and
 // re-execution numbers support its secondary claims.
+//
+//vpr:stats
 type Stats struct {
 	Cycles    int64
 	Committed int64

@@ -43,6 +43,7 @@ func (s *Sim) writebackStage(now int64) error {
 				// generation.
 				sqe := th.sqEntry(e.inum)
 				if sqe == nil || !sqe.eaKnown || !e.src2Ready {
+					//vpr:allowalloc error path: the failed run allocates once and stops
 					return fmt.Errorf("pipeline: store %d pending write-back without being completable", e.inum)
 				}
 				if err := s.checkOperand(th, e, e.ren.Src2, e.rec.Src2Val); err != nil {
@@ -50,6 +51,7 @@ func (s *Sim) writebackStage(now int64) error {
 				}
 				th.ren.NoteRead(e.inum, false, true) // data operand read now
 				if _, ok := th.ren.Complete(e.inum); !ok {
+					//vpr:allowalloc error path: the failed run allocates once and stops
 					return fmt.Errorf("pipeline: store %d refused completion", e.inum)
 				}
 				e.st = stCompleted
@@ -211,6 +213,7 @@ func (s *Sim) checkOperand(th *thread, e *robEntry, op core.SrcOp, want uint64) 
 	f := classIdxOf(op.Class)
 	preg := th.ren.ReadPhys(op.Class, op.Tag)
 	if got := s.prf[f][preg]; got != want {
+		//vpr:allowalloc error path: the failed run allocates once and stops
 		return fmt.Errorf("pipeline: golden-model mismatch at thread %d inum %d (%s): operand %s tag %d -> p%d holds %#x, architectural value %#x",
 			th.id, e.inum, e.rec.Inst, op.Class, op.Tag, preg, got, want)
 	}

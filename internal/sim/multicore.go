@@ -23,6 +23,8 @@ const SynthWorkloadPrefix = "synth:"
 // core a full single-thread pipeline with a private L1, all cores behind
 // a banked finite shared L2 (or private infinite-L2 hierarchies when
 // L2.Enabled is false — with one core, exactly the paper's machine).
+//
+//vpr:cachekey
 type MulticoreSpec struct {
 	// Workloads names one kernel per core: a catalog workload, or a
 	// synthetic preset as SynthWorkloadPrefix + name ("synth:sharing").

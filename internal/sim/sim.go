@@ -14,7 +14,10 @@ import (
 	"repro/internal/workloads"
 )
 
-// Spec describes one run.
+// Spec describes one run. It is keyed into the engine's result cache by
+// engine.specKey (//vpr:keyfunc), which must cover every field.
+//
+//vpr:cachekey
 type Spec struct {
 	// Workload names a kernel from the catalog. Leave empty and set Gen
 	// to drive the pipeline with a custom trace.

@@ -11,6 +11,8 @@ import (
 
 // SMTSpec describes a simultaneous-multithreading run: one workload per
 // hardware thread, a shared machine, a per-thread instruction budget.
+//
+//vpr:cachekey
 type SMTSpec struct {
 	// Workloads names one kernel per hardware thread.
 	Workloads []string

@@ -99,6 +99,8 @@ type Preset struct {
 
 // presets mirrors the experiment/policy registries: enumerable, looked up
 // by name, default first.
+//
+//vpr:registry synth-presets
 var presets = []Preset{
 	{"default", "balanced integer-program-like mix", Defaults},
 	{"fpstream", "streaming FP kernel: FP-heavy, miss-heavy, predictable branches", FPStream},
@@ -106,6 +108,8 @@ var presets = []Preset{
 }
 
 // Presets lists the named parameter sets.
+//
+//vpr:lookup synth-presets
 func Presets() []Preset {
 	out := make([]Preset, len(presets))
 	copy(out, presets)
@@ -113,6 +117,8 @@ func Presets() []Preset {
 }
 
 // ByName resolves a preset name to its parameters.
+//
+//vpr:lookup synth-presets
 func ByName(name string) (Params, bool) {
 	for _, p := range presets {
 		if p.Name == name {
@@ -251,19 +257,27 @@ func (g *gen) freshFP() isa.Reg {
 
 // note records a destination for future dependence edges.
 func (g *gen) note(d isa.Reg) {
-	const window = 32
 	switch d.Class {
 	case isa.RegInt:
-		g.recentInt = append(g.recentInt, d)
-		if len(g.recentInt) > window {
-			g.recentInt = g.recentInt[1:]
-		}
+		g.recentInt = pushRecent(g.recentInt, d)
 	case isa.RegFP:
-		g.recentFP = append(g.recentFP, d)
-		if len(g.recentFP) > window {
-			g.recentFP = g.recentFP[1:]
-		}
+		g.recentFP = pushRecent(g.recentFP, d)
 	}
+}
+
+// pushRecent appends d to the window, sliding a full window with a
+// memmove. The previous [1:]-then-append form walked the backing array
+// and reallocated it every ~window instructions — one allocation per
+// ~24 generated instructions, the generator's entire steady-state
+// allocation rate.
+func pushRecent(recent []isa.Reg, d isa.Reg) []isa.Reg {
+	const window = 32
+	if len(recent) < window {
+		return append(recent, d)
+	}
+	copy(recent, recent[1:])
+	recent[window-1] = d
+	return recent
 }
 
 // srcInt/srcFP pick a source register whose producer is ~Geometric(mean)

@@ -176,6 +176,7 @@ func NewStream(gen Generator, window int) *Stream {
 // as necessary. ok=false means the trace ended before seq.
 func (s *Stream) At(seq int64) (Record, bool) {
 	if seq < s.base {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("trace: seq %d already retired (base %d)", seq, s.base))
 	}
 	for seq >= s.base+int64(s.n) {
@@ -183,6 +184,7 @@ func (s *Stream) At(seq int64) (Record, bool) {
 			return Record{}, false
 		}
 		if s.n == len(s.buf) {
+			//vpr:allowalloc panic message: an invariant violation aborts the run
 			panic(fmt.Sprintf("trace: window of %d overrun (base %d, want %d); retire first", len(s.buf), s.base, seq))
 		}
 		s.refill()

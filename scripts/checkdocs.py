@@ -5,7 +5,12 @@ Checks two things over README.md and docs/*.md:
 
   1. every intra-repo markdown link resolves to an existing file or
      directory (anchors are stripped; external http/https/mailto links
-     are ignored), so docs never point at moved or deleted files;
+     are ignored), so docs never point at moved or deleted files.
+     Links are resolved against the linking file's own directory — a
+     docs/*.md link like ../internal/lint is checked against the repo
+     tree, not just README-rooted paths — "/"-prefixed links resolve
+     from the repo root, and a link that escapes the repository is an
+     error even if the escaped path happens to exist;
   2. every fenced ```go block that is a complete file (starts with a
      package clause) is gofmt-clean, so example code in the docs stays
      copy-pasteable. Fragment blocks (no package clause) are skipped,
@@ -36,7 +41,13 @@ def check(md: Path, errors: list[str]) -> None:
         path = target.split("#", 1)[0]
         if not path:  # pure in-page anchor
             continue
-        if not (md.parent / path).exists():
+        if path.startswith("/"):  # repo-root-anchored
+            resolved = (ROOT / path.lstrip("/")).resolve()
+        else:  # relative to the linking file's directory
+            resolved = (md.parent / path).resolve()
+        if not resolved.is_relative_to(ROOT):
+            errors.append(f"{rel}: link {target} escapes the repository")
+        elif not resolved.exists():
             errors.append(f"{rel}: broken link {target}")
 
     gofmt = shutil.which("gofmt")
