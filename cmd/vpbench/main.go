@@ -38,14 +38,20 @@ type schemePoint struct {
 	AllocsPerInstr float64 `json:"allocs_per_instr"`
 }
 
-// multicorePoint records the multi-core runner's throughput: N cores in
-// cycle-lockstep behind the banked shared L2. The CI bench smoke fails
-// if this point is missing from the report.
+// multicorePoint records the multi-core runner's throughput: N cores
+// behind the banked shared L2, stepped in the recorded mode. The CI
+// bench smoke fails if this point is missing from the report.
 type multicorePoint struct {
-	Workload       string  `json:"workload"`
-	Cores          int     `json:"cores"`
-	L2SizeBytes    int     `json:"l2_size_bytes"`
-	L2Banks        int     `json:"l2_banks"`
+	Workload    string `json:"workload"`
+	Cores       int    `json:"cores"`
+	L2SizeBytes int    `json:"l2_size_bytes"`
+	L2Banks     int    `json:"l2_banks"`
+	// Step is the stepping mode the point ran under ("lockstep",
+	// "parallel", "skew:W"); GoMaxProcs is the host parallelism it had
+	// available. Stats are bit-identical across modes — only
+	// instrs_per_sec moves, and only when go_max_procs > 1.
+	Step           string  `json:"step"`
+	GoMaxProcs     int     `json:"go_max_procs"`
 	Instr          int64   `json:"instr"` // committed, aggregate
 	IPC            float64 `json:"ipc"`   // aggregate
 	InstrsPerSec   float64 `json:"instrs_per_sec"`
@@ -56,10 +62,13 @@ type multicorePoint struct {
 // coherencePoint records the MSI-coherent multicore runner's throughput
 // and invalidation traffic on the sharing-heavy synthetic workload: cores
 // in one address space with the directory on. The CI bench smoke fails if
-// this point is missing or shows no invalidations.
+// this point is missing or shows no invalidations, and cross-checks the
+// lockstep and parallel variants for identical deterministic fields.
 type coherencePoint struct {
 	Workload          string  `json:"workload"`
 	Cores             int     `json:"cores"`
+	Step              string  `json:"step"`
+	GoMaxProcs        int     `json:"go_max_procs"`
 	Instr             int64   `json:"instr"` // committed, aggregate
 	IPC               float64 `json:"ipc"`   // aggregate
 	InstrsPerSec      float64 `json:"instrs_per_sec"`
@@ -81,13 +90,19 @@ type harnessTiming struct {
 }
 
 type report struct {
-	Schema     string         `json:"schema"`
-	Generated  string         `json:"generated"`
-	GoMaxProcs int            `json:"go_max_procs"`
-	Schemes    []schemePoint  `json:"schemes"`
-	Multicore  multicorePoint `json:"multicore"`
-	Coherence  coherencePoint `json:"coherence"`
-	Harness    harnessTiming  `json:"harness"`
+	Schema     string        `json:"schema"`
+	Generated  string        `json:"generated"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Schemes    []schemePoint `json:"schemes"`
+	// Multicore/Coherence run the serial lockstep oracle; the *_parallel
+	// twins rerun the identical spec under the concurrent stepper (-step,
+	// default "parallel"). Deterministic fields must match pairwise; the
+	// instrs_per_sec ratio is the recorded parallel-stepping speedup.
+	Multicore         multicorePoint `json:"multicore"`
+	MulticoreParallel multicorePoint `json:"multicore_parallel"`
+	Coherence         coherencePoint `json:"coherence"`
+	CoherenceParallel coherencePoint `json:"coherence_parallel"`
+	Harness           harnessTiming  `json:"harness"`
 }
 
 func main() {
@@ -101,10 +116,16 @@ func main() {
 		cores     = flag.Int("cores", 2, "core count for the recorded multicore and coherence points")
 		l2Geom    = flag.String("l2", "", "shared L2 geometry for the multicore/coherence points: SIZE[:BANKS], e.g. 256K:4 (default DefaultL2Config)")
 		coh       = flag.Bool("coherence", false, "run the generic multicore point with one shared address space and the MSI directory on (the dedicated coherence point always does)")
+		stepFlag  = flag.String("step", "parallel", "stepping mode for the *_parallel points: parallel or skew:W (the base points always run lockstep)")
 	)
 	flag.Parse()
 	if *cores < 1 {
 		fmt.Fprintf(os.Stderr, "vpbench: -cores must be at least 1, have %d\n", *cores)
+		os.Exit(1)
+	}
+	step, err := vpr.ParseStepMode(*stepFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpbench: -step: %v\n", err)
 		os.Exit(1)
 	}
 	l2 := vpr.DefaultL2Config()
@@ -136,18 +157,29 @@ func main() {
 		}
 		policies.Issue = sel
 	}
-	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies, *cores, l2, *coh); err != nil {
+	if err := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies, *cores, l2, *coh, step); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
 	}
 }
 
+// stepName spells a step mode for the report; the zero mode is recorded
+// under its canonical name.
+func stepName(m vpr.StepMode) string {
+	if m == "" {
+		return string(vpr.StepLockstep)
+	}
+	return string(m)
+}
+
 // measureMulticore runs one multi-core point — the same workload on every
-// core — bracketed by MemStats reads, returning the result and the host
-// heap allocations per committed instruction. Both recorded multicore
-// points share this measurement protocol.
+// core, stepped in the given mode — bracketed by MemStats reads,
+// returning the result and the host heap allocations per committed
+// instruction. All recorded multicore points share this measurement
+// protocol, and none go through the engine cache, so a lockstep point and
+// its parallel twin are both honestly recomputed in-process.
 func measureMulticore(wl string, policies vpr.Policies, cores int, l2 vpr.L2Config,
-	coherent bool, instr int64) (vpr.MulticoreResult, float64, error) {
+	coherent bool, instr int64, step vpr.StepMode) (vpr.MulticoreResult, float64, error) {
 	cfg := vpr.DefaultConfig()
 	cfg.Policies = policies
 	names := make([]string, cores)
@@ -161,6 +193,7 @@ func measureMulticore(wl string, policies vpr.Policies, cores int, l2 vpr.L2Conf
 		SharedAddressSpace: coherent,
 		Coherence:          coherent,
 		MaxInstrPerCore:    instr / int64(cores),
+		Step:               step,
 	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -173,7 +206,7 @@ func measureMulticore(wl string, policies vpr.Policies, cores int, l2 vpr.L2Conf
 	return res, allocs, nil
 }
 
-func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies, cores int, l2 vpr.L2Config, coherentMC bool) error {
+func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies, cores int, l2 vpr.L2Config, coherentMC bool, step vpr.StepMode) error {
 	rep := report{
 		Schema:     "vpr-bench/v1",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -213,47 +246,61 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 		}
 	}
 
-	// Multicore point: N cores in lockstep behind the banked shared L2,
-	// the throughput the multicore experiment pays per point.
-	{
+	// Multicore points: N cores behind the banked shared L2, once under
+	// the serial lockstep oracle (the throughput the multicore experiment
+	// pays per point) and once under the concurrent stepper.
+	mcPoint := func(mode vpr.StepMode) (multicorePoint, error) {
 		wl := workloads[0]
-		res, allocs, err := measureMulticore(wl, policies, cores, l2, coherentMC, instr)
+		res, allocs, err := measureMulticore(wl, policies, cores, l2, coherentMC, instr, mode)
 		if err != nil {
-			return err
+			return multicorePoint{}, err
 		}
 		mcMiss := res.Stats.L2MissRatio()
-		rep.Multicore = multicorePoint{
+		pt := multicorePoint{
 			Workload:       wl,
 			Cores:          cores,
 			L2SizeBytes:    l2.SizeBytes,
 			L2Banks:        l2.Banks,
+			Step:           stepName(mode),
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
 			Instr:          res.Stats.Committed,
 			IPC:            res.Stats.IPC(),
 			InstrsPerSec:   res.Stats.InstrsPerSec,
 			AllocsPerInstr: allocs,
 			L2MissRatio:    mcMiss,
 		}
-		fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  l2miss %.3f\n",
-			fmt.Sprintf("mc×%d", cores), wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec,
+		fmt.Printf("%-14s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  l2miss %.3f\n",
+			fmt.Sprintf("mc×%d %s", cores, pt.Step), wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec,
 			res.Stats.IPC(), allocs, mcMiss)
+		return pt, nil
+	}
+	var err error
+	if rep.Multicore, err = mcPoint(vpr.StepLockstep); err != nil {
+		return err
+	}
+	if rep.MulticoreParallel, err = mcPoint(step); err != nil {
+		return err
 	}
 
-	// Coherence point: the MSI directory on the sharing-heavy synthetic
+	// Coherence points: the MSI directory on the sharing-heavy synthetic
 	// workload — cores in one address space writing the same lines, the
 	// cost the coherence experiment pays per point. Always recorded (and
-	// CI-enforced: l2_invalidations must be nonzero) so the invalidation
-	// path stays on the perf record; a single core has no remote sharers
-	// to invalidate, so the point runs at least two.
-	{
+	// CI-enforced: l2_invalidations must be nonzero, and the parallel
+	// twin's deterministic fields must equal the lockstep point's) so the
+	// invalidation path stays on the perf record; a single core has no
+	// remote sharers to invalidate, so the points run at least two.
+	cohPoint := func(mode vpr.StepMode) (coherencePoint, error) {
 		wl := vpr.SynthWorkloadPrefix + "sharing"
 		cohCores := max(cores, 2)
-		res, allocs, err := measureMulticore(wl, policies, cohCores, l2, true, instr)
+		res, allocs, err := measureMulticore(wl, policies, cohCores, l2, true, instr, mode)
 		if err != nil {
-			return err
+			return coherencePoint{}, err
 		}
-		rep.Coherence = coherencePoint{
+		pt := coherencePoint{
 			Workload:          wl,
 			Cores:             cohCores,
+			Step:              stepName(mode),
+			GoMaxProcs:        runtime.GOMAXPROCS(0),
 			Instr:             res.Stats.Committed,
 			IPC:               res.Stats.IPC(),
 			InstrsPerSec:      res.Stats.InstrsPerSec,
@@ -263,9 +310,16 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 			Upgrades:          res.Stats.L2Upgrades,
 			WritebackForwards: res.Stats.L2WritebackForwards,
 		}
-		fmt.Printf("%-8s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  inval %d\n",
-			fmt.Sprintf("msi×%d", cohCores), wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec,
+		fmt.Printf("%-14s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  inval %d\n",
+			fmt.Sprintf("msi×%d %s", cohCores, pt.Step), wl, res.Stats.InstrsPerSec, res.Stats.CyclesPerSec,
 			res.Stats.IPC(), allocs, res.Stats.L2Invalidations)
+		return pt, nil
+	}
+	if rep.Coherence, err = cohPoint(vpr.StepLockstep); err != nil {
+		return err
+	}
+	if rep.CoherenceParallel, err = cohPoint(step); err != nil {
+		return err
 	}
 
 	// Harness grid: every catalog workload × scheme, serial vs parallel.

@@ -63,6 +63,7 @@ func main() {
 		cores    = flag.String("cores", "", "core counts for the multicore/coherence experiments (comma-separated; defaults 1,2,4 and 2,4)")
 		l2       = flag.String("l2", "", "shared L2 geometry for the multicore/coherence experiments: SIZE[:BANKS], e.g. 256K:4 or 1M:8")
 		coh      = flag.Bool("coherence", false, "run the multicore experiment with one shared address space and the MSI directory on")
+		step     = flag.String("step", "", "multicore stepping mode: lockstep (default), parallel, or skew:W — results are identical, only throughput changes")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -71,6 +72,11 @@ func main() {
 	defer stop()
 
 	opts := vpr.ExperimentOptions{Instr: *instr, FetchPolicy: *fetchPol, IssueSelect: *issueSel, Coherence: *coh}
+	if _, err := vpr.ParseStepMode(*step); err != nil {
+		fmt.Fprintf(os.Stderr, "vptables: -step: %v\n", err)
+		os.Exit(1)
+	}
+	opts.Step = *step
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
 	}

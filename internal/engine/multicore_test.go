@@ -98,6 +98,38 @@ func TestRunMulticoreCoherenceKeysCache(t *testing.T) {
 	}
 }
 
+// TestRunMulticoreStepKeysCache: the stepping mode yields bit-identical
+// results, but throughput experiments comparing modes must never share a
+// cache entry — Step is part of the key, and the cached results agree.
+func TestRunMulticoreStepKeysCache(t *testing.T) {
+	e := New()
+	ctx := context.Background()
+	base := mcSpec(2, mem.DefaultL2Config())
+
+	lock, err := e.RunMulticore(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Step = pipeline.StepParallel
+	parRes, err := e.RunMulticore(ctx, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 2 {
+		t.Errorf("step flip: hits/misses = %d/%d, want 0/2 (Step keys the cache)", hits, misses)
+	}
+	if lock.Stats.Arch() != parRes.Stats.Arch() {
+		t.Error("parallel-stepped run differs architecturally from lockstep")
+	}
+	if _, err := e.RunMulticore(ctx, par); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e.CacheStats(); hits != 1 {
+		t.Errorf("repeat parallel point: %d cache hits, want 1", hits)
+	}
+}
+
 // TestRunMulticoreBatchDeterministic: batches of multi-core machines
 // produce identical results at every parallelism level.
 func TestRunMulticoreBatchDeterministic(t *testing.T) {

@@ -81,6 +81,9 @@ func coherencePlan(opts Options) (Plan, error) {
 			return Plan{}, fmt.Errorf("experiments: bad core count %d", n)
 		}
 	}
+	if _, err := opts.stepMode(); err != nil {
+		return Plan{}, err
+	}
 	l2 := opts.l2Config()
 	names := opts.Workloads
 	point := func(name string, scheme core.Scheme, cores int, shared, coherent bool) sim.MulticoreSpec {

@@ -52,6 +52,16 @@ type Options struct {
 	// flag). The coherence experiment ignores it — it sweeps the
 	// directory on and off by construction.
 	Coherence bool
+	// Step selects the multicore stepping strategy for the multicore and
+	// coherence experiments ("lockstep", "parallel", "skew:W"; the CLI
+	// -step flag). Results are bit-identical across modes — only host
+	// throughput changes. Empty means lockstep.
+	Step string
+}
+
+// stepMode validates and returns the option's stepping mode.
+func (o Options) stepMode() (pipeline.StepMode, error) {
+	return pipeline.ParseStepMode(o.Step)
 }
 
 func (o Options) workloads() []string {

@@ -60,6 +60,9 @@ func multicorePlan(opts Options) (Plan, error) {
 			return Plan{}, fmt.Errorf("experiments: bad core count %d", n)
 		}
 	}
+	if _, err := opts.stepMode(); err != nil {
+		return Plan{}, err
+	}
 	l2 := opts.l2Config()
 	names := opts.workloads() // may include "synth:" presets, as in MulticoreSpec
 	var specs []sim.MulticoreSpec
@@ -101,6 +104,7 @@ func multicorePointSpec(name string, scheme core.Scheme, cores int, l2 mem.L2Con
 	for i := range names {
 		names[i] = name
 	}
+	step, _ := opts.stepMode() // plan builders validate the mode up front
 	return sim.MulticoreSpec{
 		Workloads:          names,
 		Config:             baseConfig(scheme, 64, 32),
@@ -108,6 +112,7 @@ func multicorePointSpec(name string, scheme core.Scheme, cores int, l2 mem.L2Con
 		SharedAddressSpace: opts.Coherence,
 		Coherence:          opts.Coherence,
 		MaxInstrPerCore:    opts.instr() / int64(cores),
+		Step:               step,
 	}
 }
 

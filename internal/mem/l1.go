@@ -72,6 +72,13 @@ type mshr struct {
 // core's addresses so cores never alias each other's lines in the shared
 // L2, and id is the port index the shared L2's MSI directory tracks the
 // core under.
+//
+// An L1 is written by two parties: its own core (Access/Drain, only from
+// the execute stage) and — under coherence — remote cores, whose gated
+// memory phases reach it through invalidateLine/downgradeLine. The
+// parallel stepper (pipeline/parallel.go) serializes all such phases in
+// global (cycle, core-index) order, so the two parties never run
+// concurrently and l.now never observes time running backwards.
 type L1 struct {
 	cfg       L1Config
 	base      uint64

@@ -111,15 +111,25 @@ type bank struct {
 // coherent flag: a non-coherent BankedL2 is bit-for-bit the PR-4
 // hierarchy.
 //
-// The L2 is not internally synchronized: the multi-core runner steps
-// cores in cycle-lockstep on one goroutine, which is also what makes the
-// shared state deterministic.
+// The L2 is not internally synchronized. It relies on its drivers —
+// either the serial lockstep loop or the parallel stepper's memory gate
+// (pipeline/parallel.go) — to present requests one at a time in global
+// (cycle, core-index) order, which is also what makes the shared state
+// deterministic. With strict ordering enabled (System.EnableStrictCoreOrder)
+// that contract is asserted: same-cycle requests must arrive from
+// non-decreasing core indices.
 type BankedL2 struct {
 	cfg       L2Config
 	lineBytes int
 	coreShift uint // CoreAddrShift in line-address space
 	banks     []bank
 	now       int64
+
+	// strictOrder asserts the stepper discipline: within one cycle,
+	// requests must arrive in non-decreasing core order. lastCore is the
+	// previous requester this cycle (-1 right after time advances).
+	strictOrder bool
+	lastCore    int
 
 	coherent bool
 	ports    []*L1 // invalidation/downgrade targets, indexed by L1 id
@@ -160,6 +170,7 @@ func NewBankedL2(cfg L2Config, lineBytes int) (*BankedL2, error) {
 		lineBytes: lineBytes,
 		coreShift: CoreAddrShift - shift,
 		banks:     make([]bank, cfg.Banks),
+		lastCore:  -1,
 	}
 	for i := range l2.banks {
 		l2.banks[i].tags = make([]uint64, sets)
@@ -225,6 +236,9 @@ func (c *BankedL2) advance(b *bank, now int64) {
 		//vpr:allowalloc panic message: an invariant violation aborts the run
 		panic(fmt.Sprintf("mem: L2 time went backwards (%d after %d)", now, c.now))
 	}
+	if now > c.now {
+		c.lastCore = -1
+	}
 	c.now = now
 	keep := b.inflight[:0]
 	for _, r := range b.inflight {
@@ -234,6 +248,25 @@ func (c *BankedL2) advance(b *bank, now int64) {
 		}
 	}
 	b.inflight = keep
+}
+
+// noteCore asserts the within-cycle core-order half of the determinism
+// contract when strict ordering is on: cache keys and golden statistics
+// assume same-cycle L2 requests are applied in core-index order, and the
+// parallel stepper's memory gate exists to guarantee exactly that, so a
+// violation here is a stepper bug worth a hard stop, not a wrong number.
+//
+//vpr:hotpath
+func (c *BankedL2) noteCore(core int) {
+	if !c.strictOrder {
+		return
+	}
+	if core < c.lastCore {
+		//vpr:allowalloc panic message: an invariant violation aborts the run
+		panic(fmt.Sprintf("mem: L2 request from core %d after core %d in cycle %d: stepper broke (cycle, core) order",
+			core, c.lastCore, c.now))
+	}
+	c.lastCore = core
 }
 
 // reserveBus claims one line transfer on the bank's bus and returns the
@@ -271,6 +304,7 @@ func (c *BankedL2) Fetch(now int64, lineAddr uint64) (penalty int, floor int64) 
 func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (penalty int, floor int64) {
 	b, set := c.bankOf(lineAddr)
 	c.advance(b, now)
+	c.noteCore(core)
 	c.Fetches++
 	for _, r := range b.inflight {
 		if r.lineAddr == lineAddr {
@@ -388,6 +422,7 @@ func (c *BankedL2) Upgrade(now int64, lineAddr uint64, core int) int64 {
 	}
 	b, set := c.bankOf(lineAddr)
 	c.advance(b, now)
+	c.noteCore(core)
 	c.Upgrades++
 	if tag := &b.tags[set]; *tag != lineAddr+1 {
 		// Defensive: inclusion means an L1 hit implies an L2 hit, so this
@@ -437,6 +472,7 @@ func (c *BankedL2) WriteBack(now int64, lineAddr uint64) {
 func (c *BankedL2) writeBack(now int64, lineAddr uint64, core int) {
 	b, set := c.bankOf(lineAddr)
 	c.advance(b, now)
+	c.noteCore(core)
 	c.WriteBacks++
 	tag := &b.tags[set]
 	if c.coherent {

@@ -10,9 +10,12 @@ const CoreAddrShift = 48
 
 // System is the multi-core shared memory hierarchy: one lockup-free L1
 // per core in front of a single banked finite L2. Ports are not
-// internally synchronized — the multi-core runner steps cores in
-// cycle-lockstep on one goroutine, which keeps the shared L2 state
-// deterministic.
+// internally synchronized — the multi-core runner either steps cores in
+// cycle-lockstep on one goroutine or, under the parallel stepper
+// (pipeline/parallel.go), serializes every port's memory phase through a
+// gate that reproduces the identical global (cycle, core-index) request
+// order. Either discipline keeps the shared L2 state deterministic;
+// EnableStrictCoreOrder makes the L2 assert it.
 type System struct {
 	l2  *BankedL2
 	l1s []*L1
@@ -65,6 +68,15 @@ func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr, coherent bool) (
 	}
 	return s, nil
 }
+
+// EnableStrictCoreOrder makes the shared L2 assert the determinism
+// contract on every request: within one cycle, requests must arrive from
+// non-decreasing core indices (time must already be monotonic). The
+// multi-core runner enables it unconditionally — the serial loop
+// satisfies the order by construction, and for the parallel stepper the
+// assertion is the tripwire that would catch a memory-gate bug as a
+// panic instead of a silently different statistic.
+func (s *System) EnableStrictCoreOrder() { s.l2.strictOrder = true }
 
 // Cores returns the number of L1 ports.
 func (s *System) Cores() int { return len(s.l1s) }

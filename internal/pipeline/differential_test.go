@@ -82,28 +82,6 @@ func diffKernels(t *testing.T, name string, cfg Config, mkGens func() []trace.Ge
 	})
 }
 
-// randSynthParams draws a randomized synthetic-workload parameterization:
-// mixes, dependence distances, miss ratios and branch behaviour all vary,
-// so the two kernels are compared across very different machine dynamics
-// (miss storms, re-execution pressure, violation replays, FP saturation).
-func randSynthParams(rng *rand.Rand) synth.Params {
-	p := synth.Defaults()
-	p.Seed = rng.Int63()
-	p.FracLoad = 0.1 + 0.3*rng.Float64()
-	p.FracStore = 0.05 + 0.2*rng.Float64()
-	p.FracBranch = 0.05 + 0.15*rng.Float64()
-	p.FracFPALU = 0.3 * rng.Float64()
-	p.FracFPMul = 0.15 * rng.Float64()
-	p.FracFPDiv = 0.05 * rng.Float64()
-	p.FracIntMul = 0.1 * rng.Float64()
-	p.FracIntDiv = 0.03 * rng.Float64()
-	p.FracFPLoads = rng.Float64()
-	p.MeanDepDist = 1 + 10*rng.Float64()
-	p.MissRatio = 0.5 * rng.Float64()
-	p.BiasedBranchFrac = rng.Float64()
-	return p
-}
-
 // diffConfigs are the pressure corners the differential sweep runs per
 // workload: all three schemes, small and default register files, minimum
 // and maximum NRR, both disambiguation policies.

@@ -13,6 +13,14 @@ import "fmt"
 // (ports, MSHRs, unresolved older store addresses, forwarding data not
 // produced) stay in the thread's inum-sorted pending list and retry each
 // cycle, exactly like the reference scan revisits them.
+//
+// Concurrency contract: this is the memory phase of the split cycle
+// (Sim.stepMem) — the only phase that touches s.dmem and, through it,
+// shared multicore state (the banked L2, the directory, remote L1s).
+// The parallel stepper serializes calls in global (cycle, core-index)
+// order via the memory gate in parallel.go; everything else in the
+// cycle runs concurrently across cores. Keep shared-state access inside
+// this phase or the determinism contract breaks.
 func (s *Sim) executeStage(now int64) error {
 	if s.scan {
 		return s.executeScan(now)

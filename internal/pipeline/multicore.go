@@ -30,6 +30,14 @@ type MulticoreConfig struct {
 	// private memories: no aliasing, no sharing.
 	SharedAddressSpace bool
 
+	// Step selects how the runner advances the cores each cycle:
+	// StepLockstep (also the zero value) is the serial oracle loop,
+	// StepParallel and StepSkew(W) run one goroutine per core under the
+	// conservative memory gate (parallel.go). All modes produce
+	// bit-identical statistics and commit streams; see ParseStepMode for
+	// the accepted spellings.
+	Step StepMode
+
 	// Coherence activates the MSI directory over the shared L2: stores
 	// invalidate remote L1 copies through an ownership/upgrade path,
 	// remote dirty lines are forwarded through the bank bus, and L2
@@ -62,6 +70,13 @@ func (c MulticoreConfig) Validate() error {
 	if c.Coherence && !c.L2.Enabled {
 		return fmt.Errorf("pipeline: coherence needs the shared L2 (L2.Enabled)")
 	}
+	plan, err := c.Step.plan()
+	if err != nil {
+		return err
+	}
+	if plan.concurrent && c.Core.Policies.Probe != nil {
+		return fmt.Errorf("pipeline: probes observe every core through one shared callback and need the serial oracle; use Step=%q", StepLockstep)
+	}
 	return c.Core.Validate()
 }
 
@@ -75,6 +90,14 @@ type Multicore struct {
 	cfg   MulticoreConfig
 	cores []*Sim
 	sys   *mem.System // nil when the shared L2 is disabled
+	step  stepPlan    // cfg.Step parsed once (Validate already accepted it)
+
+	// Live-core tracking: drained[i] is set the first time core i reports
+	// Done, decrementing liveCount, so Done() is O(1) once everything has
+	// drained and the run loops never rescan finished cores.
+	drained   []bool
+	liveCount int
+	liveBuf   []int // reused index scratch for the serial run loop
 
 	wallNanos int64
 }
@@ -88,12 +111,17 @@ func NewMulticore(cfg MulticoreConfig, gens []trace.Generator) (*Multicore, erro
 		return nil, fmt.Errorf("pipeline: %d cores need %d traces, have %d", cfg.Cores, cfg.Cores, len(gens))
 	}
 	m := &Multicore{cfg: cfg}
+	m.step, _ = cfg.Step.plan() // Validate already vetted it
+	m.drained = make([]bool, cfg.Cores)
+	m.liveCount = cfg.Cores
+	m.liveBuf = make([]int, 0, cfg.Cores)
 	if cfg.L2.Enabled {
 		sys, err := mem.NewSystem(mem.L1FromCacheConfig(cfg.Core.Cache), cfg.L2, cfg.Cores,
 			cfg.SharedAddressSpace, cfg.Coherence)
 		if err != nil {
 			return nil, err
 		}
+		sys.EnableStrictCoreOrder()
 		m.sys = sys
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -122,14 +150,32 @@ func (m *Multicore) Core(i int) *Sim { return m.cores[i] }
 // disabled).
 func (m *Multicore) System() *mem.System { return m.sys }
 
-// Done reports whether every core has drained its trace.
+// noteDrained marks core i as drained exactly once, maintaining the
+// live-core count.
+func (m *Multicore) noteDrained(i int) {
+	if !m.drained[i] {
+		m.drained[i] = true
+		m.liveCount--
+	}
+}
+
+// Done reports whether every core has drained its trace. Once every core
+// has been seen drained the answer is a counter read; until then only the
+// cores not yet marked are consulted (draining is irreversible).
 func (m *Multicore) Done() bool {
-	for _, c := range m.cores {
+	if m.liveCount == 0 {
+		return true
+	}
+	for i, c := range m.cores {
+		if m.drained[i] {
+			continue
+		}
 		if !c.Done() {
 			return false
 		}
+		m.noteDrained(i)
 	}
-	return true
+	return m.liveCount == 0
 }
 
 // CoreStats snapshots one core's statistics (local L1 counters; the
@@ -142,40 +188,68 @@ func (m *Multicore) Run(maxCommitsPerCore int64) (Stats, error) {
 	return m.RunContext(context.Background(), maxCommitsPerCore)
 }
 
-// RunContext is Run under a context: cancellation stops the lockstep loop
+// RunContext is Run under a context: cancellation stops the stepper
 // between cycles and surfaces ctx.Err().
 func (m *Multicore) RunContext(ctx context.Context, maxCommitsPerCore int64) (Stats, error) {
 	start := time.Now()
-	err := m.runLoop(ctx, maxCommitsPerCore)
+	var err error
+	if m.step.concurrent {
+		err = m.runParallel(ctx, maxCommitsPerCore)
+	} else {
+		err = m.runLoop(ctx, maxCommitsPerCore)
+	}
 	m.wallNanos += time.Since(start).Nanoseconds()
 	return m.Aggregate(), err
 }
 
 //vpr:hotpath
 func (m *Multicore) runLoop(ctx context.Context, maxCommitsPerCore int64) error {
+	// live holds the indices of the cores still stepping; a core leaves
+	// the moment it drains or hits its commit cap and is never rescanned.
+	// In-place compaction preserves index order, which the determinism
+	// contract fixes as the in-cycle order of shared-memory interactions.
+	live := m.liveBuf[:cap(m.liveBuf)]
+	n := 0
+	for i, c := range m.cores {
+		if c.Done() {
+			m.noteDrained(i)
+			continue
+		}
+		if maxCommitsPerCore > 0 && c.stats.Committed >= maxCommitsPerCore {
+			continue
+		}
+		live[n] = i
+		n++
+	}
+	live = live[:n]
 	sinceCheck := 0
-	for {
+	for len(live) > 0 {
 		if sinceCheck++; sinceCheck >= ctxCheckCycles {
 			sinceCheck = 0
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		active := false
-		for i, c := range m.cores {
-			if c.Done() || (maxCommitsPerCore > 0 && c.stats.Committed >= maxCommitsPerCore) {
-				continue
-			}
-			active = true
+		w := 0
+		for _, i := range live {
+			c := m.cores[i]
 			if err := c.Step(); err != nil {
 				//vpr:allowalloc error path: the failed run allocates once and stops
 				return fmt.Errorf("pipeline: core %d: %w", i, err)
 			}
+			if c.Done() {
+				m.noteDrained(i)
+				continue
+			}
+			if maxCommitsPerCore > 0 && c.stats.Committed >= maxCommitsPerCore {
+				continue
+			}
+			live[w] = i
+			w++
 		}
-		if !active {
-			return nil
-		}
+		live = live[:w]
 	}
+	return nil
 }
 
 // Aggregate sums the per-core statistics: counters add, cycles and peak

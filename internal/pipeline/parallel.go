@@ -1,0 +1,298 @@
+// Parallel multicore stepping.
+//
+// The lockstep oracle (multicore.go) steps every core serially in index
+// order, so the host's extra cores sit idle. The stepper in this file
+// runs one long-lived goroutine per core and reproduces the oracle's
+// results bit-for-bit at any GOMAXPROCS by exploiting the phase split in
+// sim.go: stepFront and stepBack touch only core-private state and run
+// fully concurrently, while stepMem — the one phase that can reach the
+// shared mem.System — is admitted by a conservative gate in exactly the
+// global (cycle, core-index) order the serial loop would have used.
+//
+// # The memory gate
+//
+// Each core publishes memCycle[i], the highest cycle whose memory phase
+// it has finished, through an atomic. Core i may run stepMem for cycle T
+// once every lower-indexed core has finished T's memory phase and every
+// higher-indexed core has finished T-1's:
+//
+//	∀j<i: memCycle[j] >= T   and   ∀j>i: memCycle[j] >= T-1
+//
+// That is precisely "all shared-memory interactions ordered by (cycle,
+// core index)", the order the determinism contract fixes — so the shared
+// L2 and directory observe the identical request sequence, produce the
+// identical timings, and every statistic and commit stream comes out
+// bit-identical to the oracle. Cross-core L1 writes (coherence
+// invalidations and downgrades) happen only inside gated memory phases,
+// so they are serialized too, and the gate's acquire/publish atomics give
+// the race detector — and the Go memory model — the happens-before edges
+// that make them safe.
+//
+// Cores whose execute stage provably cannot touch memory this cycle
+// (Sim.memQuiet: empty store buffer, no pending or deliverable AGU work)
+// skip the wait entirely and just publish, which is what lets low-sharing
+// workloads run ahead instead of convoying behind the slowest core. With
+// the shared L2 disabled there is nothing shared at all and the gate is
+// bypassed wholesale.
+//
+// # Pacing (the skew window)
+//
+// Correctness never depends on how far ahead a core runs — the gate
+// already orders every shared interaction. The skew window W is a pacing
+// knob: a core may begin cycle T only once every live core has completed
+// cycle T-1-W, bounding the lead so gate waits stay short and cores stay
+// cache-warm. StepParallel is W=0 (a per-cycle barrier, the classic BSP
+// shape); StepSkew(W) relaxes it; "skew:inf" removes it. A blocked core
+// spins on runtime.Gosched, which keeps the stepper live even at
+// GOMAXPROCS=1.
+//
+// Liveness: the lexicographically least (cycle, index) core among those
+// not finished never waits on the gate — every condition it checks is on
+// a core strictly ahead of or equal to it — and the core with the least
+// completed cycle never waits on pacing, so some core always advances.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// StepMode names a Multicore stepping strategy. The zero value is the
+// serial lockstep oracle; see ParseStepMode for the accepted spellings.
+type StepMode string
+
+const (
+	// StepLockstep steps every core serially in index order on the
+	// calling goroutine — the oracle the parallel modes are pinned to.
+	// The empty string means the same thing.
+	StepLockstep StepMode = "lockstep"
+
+	// StepParallel runs one goroutine per core under the memory gate
+	// with a zero-width skew window: a per-cycle barrier.
+	StepParallel StepMode = "parallel"
+
+	stepSkewPrefix = "skew:"
+	stepSkewInf    = "skew:inf"
+)
+
+// StepSkew returns the mode that lets cores free-run up to w cycles ahead
+// of the slowest live core; w < 0 means an unbounded window.
+func StepSkew(w int64) StepMode {
+	if w < 0 {
+		return StepMode(stepSkewInf)
+	}
+	return StepMode(stepSkewPrefix + strconv.FormatInt(w, 10))
+}
+
+// ParseStepMode validates a stepping-mode spelling: "" or "lockstep",
+// "parallel", "skew:W" for a decimal window W >= 0, or "skew:inf".
+func ParseStepMode(s string) (StepMode, error) {
+	m := StepMode(s)
+	if _, err := m.plan(); err != nil {
+		return StepLockstep, err
+	}
+	return m, nil
+}
+
+// stepPlan is a parsed StepMode: whether to run the goroutine-per-core
+// stepper, and its pacing window (-1 = unbounded).
+type stepPlan struct {
+	concurrent bool
+	window     int64
+}
+
+func (m StepMode) plan() (stepPlan, error) {
+	switch m {
+	case "", StepLockstep:
+		return stepPlan{}, nil
+	case StepParallel:
+		return stepPlan{concurrent: true}, nil
+	case stepSkewInf:
+		return stepPlan{concurrent: true, window: -1}, nil
+	}
+	if rest, ok := strings.CutPrefix(string(m), stepSkewPrefix); ok {
+		w, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || w < 0 {
+			return stepPlan{}, fmt.Errorf("pipeline: bad skew window %q (want %q, %q, %q, or %q with W >= 0)",
+				string(m), StepLockstep, StepParallel, stepSkewInf, stepSkewPrefix+"W")
+		}
+		return stepPlan{concurrent: true, window: w}, nil
+	}
+	return stepPlan{}, fmt.Errorf("pipeline: unknown step mode %q (want %q, %q, %q, or %q with W >= 0)",
+		string(m), StepLockstep, StepParallel, stepSkewInf, stepSkewPrefix+"W")
+}
+
+// parDone is published as a core's progress once it stops stepping, so no
+// other core ever waits on it again.
+const parDone = math.MaxInt64
+
+// parRun is one parallel stepping session: the per-core goroutines, their
+// published progress, and the first error.
+type parRun struct {
+	m      *Multicore
+	ctx    context.Context
+	max    int64 // commit cap per core (0 = none)
+	window int64 // pacing window (-1 = unbounded)
+	gated  bool  // shared memory exists; memory phases take the gate
+
+	// memCycle[i] is the highest cycle whose memory phase core i has
+	// completed; completed[i] the highest cycle it has fully completed.
+	// Both start at startCycle-1 and jump to parDone when the core stops.
+	memCycle  []atomic.Int64
+	completed []atomic.Int64
+
+	stopped atomic.Bool
+	errMu   sync.Mutex
+	err     error
+	wg      sync.WaitGroup
+}
+
+// runParallel steps every core on its own goroutine under the memory
+// gate. Bit-identical to runLoop by construction; see the package comment
+// above.
+func (m *Multicore) runParallel(ctx context.Context, maxCommitsPerCore int64) error {
+	r := &parRun{
+		m:         m,
+		ctx:       ctx,
+		max:       maxCommitsPerCore,
+		window:    m.step.window,
+		gated:     m.sys != nil,
+		memCycle:  make([]atomic.Int64, len(m.cores)),
+		completed: make([]atomic.Int64, len(m.cores)),
+	}
+	for i, c := range m.cores {
+		r.memCycle[i].Store(c.cycle - 1)
+		r.completed[i].Store(c.cycle - 1)
+	}
+	r.wg.Add(len(m.cores))
+	for i := range m.cores {
+		go r.coreLoop(i)
+	}
+	r.wg.Wait()
+	for i, c := range m.cores {
+		if c.Done() {
+			m.noteDrained(i)
+		}
+	}
+	return r.err
+}
+
+// fail records the first error and stops every core.
+//
+//vpr:coldpath
+func (r *parRun) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.stopped.Store(true)
+}
+
+// coreLoop advances one core until its trace drains, its commit cap is
+// reached, or the run stops. The loop allocates nothing; the spin waits
+// yield so progress is guaranteed at any GOMAXPROCS.
+//
+//vpr:hotpath
+func (r *parRun) coreLoop(i int) {
+	defer r.wg.Done()
+	c := r.m.cores[i]
+	sinceCheck := 0
+	for {
+		if r.stopped.Load() {
+			break
+		}
+		if c.Done() || (r.max > 0 && c.stats.Committed >= r.max) {
+			break
+		}
+		if sinceCheck++; sinceCheck >= ctxCheckCycles {
+			sinceCheck = 0
+			if err := r.ctx.Err(); err != nil {
+				r.fail(err) // unwrapped, matching the serial loop
+				break
+			}
+		}
+		now := c.cycle
+		if !r.waitPacing(now) {
+			break
+		}
+		if err := c.stepFront(now); err != nil {
+			//vpr:allowalloc error path: the failed run allocates once and stops
+			r.fail(fmt.Errorf("pipeline: core %d: %w", i, err))
+			break
+		}
+		// The cycle's memory footprint is now fixed: take the gate only
+		// if this cycle can actually reach shared state.
+		if r.gated && !c.memQuiet(now) && !r.waitMemGate(now, i) {
+			break
+		}
+		err := c.stepMem(now)
+		r.memCycle[i].Store(now)
+		if err != nil {
+			//vpr:allowalloc error path: the failed run allocates once and stops
+			r.fail(fmt.Errorf("pipeline: core %d: %w", i, err))
+			break
+		}
+		if err := c.stepBack(now); err != nil {
+			//vpr:allowalloc error path: the failed run allocates once and stops
+			r.fail(fmt.Errorf("pipeline: core %d: %w", i, err))
+			break
+		}
+		r.completed[i].Store(now)
+	}
+	// Publish terminal progress so no gate or pacing wait ever blocks on
+	// a finished core.
+	r.memCycle[i].Store(parDone)
+	r.completed[i].Store(parDone)
+}
+
+// waitPacing blocks the start of cycle now until every live core has
+// completed cycle now-1-window. Returns false if the run stopped.
+//
+//vpr:hotpath
+func (r *parRun) waitPacing(now int64) bool {
+	if r.window < 0 {
+		return true
+	}
+	target := now - 1 - r.window
+	for j := range r.completed {
+		for r.completed[j].Load() < target {
+			if r.stopped.Load() {
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+	return true
+}
+
+// waitMemGate admits core i's memory phase for cycle now once its global
+// (cycle, index) turn has come: every lower-indexed core has finished
+// this cycle's memory phase, every higher-indexed core last cycle's.
+// Returns false if the run stopped.
+//
+//vpr:hotpath
+func (r *parRun) waitMemGate(now int64, i int) bool {
+	for j := range r.memCycle {
+		want := now
+		if j == i {
+			continue
+		}
+		if j > i {
+			want = now - 1
+		}
+		for r.memCycle[j].Load() < want {
+			if r.stopped.Load() {
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+	return true
+}

@@ -1,0 +1,389 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// randSynthParams draws a randomized synthetic-workload parameterization:
+// mixes, dependence distances, miss ratios and branch behaviour all vary,
+// so kernels and steppers are compared across very different machine
+// dynamics (miss storms, re-execution pressure, violation replays, FP
+// saturation). Shared with the scanoracle differential suite.
+func randSynthParams(rng *rand.Rand) synth.Params {
+	p := synth.Defaults()
+	p.Seed = rng.Int63()
+	p.FracLoad = 0.1 + 0.3*rng.Float64()
+	p.FracStore = 0.05 + 0.2*rng.Float64()
+	p.FracBranch = 0.05 + 0.15*rng.Float64()
+	p.FracFPALU = 0.3 * rng.Float64()
+	p.FracFPMul = 0.15 * rng.Float64()
+	p.FracFPDiv = 0.05 * rng.Float64()
+	p.FracIntMul = 0.1 * rng.Float64()
+	p.FracIntDiv = 0.03 * rng.Float64()
+	p.FracFPLoads = rng.Float64()
+	p.MeanDepDist = 1 + 10*rng.Float64()
+	p.MissRatio = 0.5 * rng.Float64()
+	p.BiasedBranchFrac = rng.Float64()
+	return p
+}
+
+// parStepModes are the non-oracle stepping modes every differential case
+// is checked under.
+var parStepModes = []StepMode{StepParallel, StepSkew(1), StepSkew(8), StepSkew(-1)}
+
+// mcResult is everything the stepper differential pins: aggregate and
+// per-core architectural statistics plus each core's in-order commit
+// stream (cores are single-thread, so the inum sequence is the stream).
+type mcResult struct {
+	agg     Stats
+	perCore []Stats
+	streams [][]int64
+}
+
+// runMulticoreMode builds and runs one Multicore under the given step
+// mode, capturing commit streams. Each core's onCommit hook appends only
+// to that core's slice, so the capture is race-free under the parallel
+// steppers.
+func runMulticoreMode(t *testing.T, cfg MulticoreConfig, step StepMode, mkGens func() []trace.Generator, max int64) mcResult {
+	t.Helper()
+	cfg.Step = step
+	mc, err := NewMulticore(cfg, mkGens())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([][]int64, mc.Cores())
+	for i := 0; i < mc.Cores(); i++ {
+		i := i
+		mc.Core(i).onCommit = func(_ int, inum int64) {
+			streams[i] = append(streams[i], inum)
+		}
+	}
+	agg, err := mc.Run(max)
+	if err != nil {
+		t.Fatalf("step=%q: %v", step, err)
+	}
+	if max <= 0 && !mc.Done() {
+		t.Fatalf("step=%q: multicore not drained", step)
+	}
+	res := mcResult{agg: agg.Arch(), streams: streams}
+	for i := 0; i < mc.Cores(); i++ {
+		res.perCore = append(res.perCore, mc.CoreStats(i).Arch())
+	}
+	return res
+}
+
+// diffSteppers runs one configuration under the lockstep oracle and every
+// parallel mode and requires bit-identical aggregate statistics, per-core
+// statistics and per-core commit streams.
+func diffSteppers(t *testing.T, name string, cfg MulticoreConfig, mkGens func() []trace.Generator, max int64) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		want := runMulticoreMode(t, cfg, StepLockstep, mkGens, max)
+		for _, mode := range parStepModes {
+			got := runMulticoreMode(t, cfg, mode, mkGens, max)
+			if got.agg != want.agg {
+				t.Errorf("step=%q aggregate stats diverge:\n got  %+v\n want %+v", mode, got.agg, want.agg)
+			}
+			for i := range want.perCore {
+				if got.perCore[i] != want.perCore[i] {
+					t.Errorf("step=%q core %d stats diverge:\n got  %+v\n want %+v",
+						mode, i, got.perCore[i], want.perCore[i])
+				}
+			}
+			for i := range want.streams {
+				if len(got.streams[i]) != len(want.streams[i]) {
+					t.Fatalf("step=%q core %d commit stream length %d, want %d",
+						mode, i, len(got.streams[i]), len(want.streams[i]))
+				}
+				for k := range want.streams[i] {
+					if got.streams[i][k] != want.streams[i][k] {
+						t.Fatalf("step=%q core %d commit stream diverges at %d: %d vs %d",
+							mode, i, k, got.streams[i][k], want.streams[i][k])
+					}
+				}
+			}
+		}
+	})
+}
+
+// synthGens builds one independent synthetic generator per core; shared
+// seeds (identical streams on every core) maximize line sharing when the
+// address space is shared.
+func synthGens(paramsList []synth.Params, instr int64) func() []trace.Generator {
+	return func() []trace.Generator {
+		gens := make([]trace.Generator, len(paramsList))
+		for i, p := range paramsList {
+			gens[i] = trace.Take(synth.New(p), instr)
+		}
+		return gens
+	}
+}
+
+// TestParallelStepperDifferential is the tentpole's acceptance pin:
+// randomized synthetic workloads × schemes × coherence on/off ×
+// shared/namespaced address spaces × core counts, each run under every
+// parallel mode and compared bit-for-bit against the lockstep oracle.
+func TestParallelStepperDifferential(t *testing.T) {
+	type variant struct {
+		name      string
+		l2        bool
+		sharedAdr bool
+		coherent  bool
+	}
+	variants := []variant{
+		{name: "privL1", l2: false},
+		{name: "l2", l2: true},
+		{name: "l2-shared", l2: true, sharedAdr: true},
+		{name: "l2-coh", l2: true, coherent: true},
+		{name: "l2-shared-coh", l2: true, sharedAdr: true, coherent: true},
+	}
+	schemes := []core.Scheme{core.SchemeConventional, core.SchemeVPWriteback, core.SchemeVPIssue}
+	coreCounts := []int{2, 3, 5, 8}
+	instr := int64(4000)
+	seeds := []int64{101, 202, 303}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for si, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		for vi, v := range variants {
+			cores := coreCounts[(si+vi)%len(coreCounts)]
+			cfg := MulticoreConfig{
+				Cores:              cores,
+				Core:               DefaultConfig(),
+				SharedAddressSpace: v.sharedAdr,
+				Coherence:          v.coherent,
+			}
+			cfg.Core.Scheme = schemes[(si+vi)%len(schemes)]
+			cfg.Core.ValueCheck = false
+			if v.l2 {
+				cfg.L2 = mem.DefaultL2Config()
+			}
+			paramsList := make([]synth.Params, cores)
+			shared := rng.Intn(2) == 0
+			first := randSynthParams(rng)
+			for i := range paramsList {
+				if v.sharedAdr && shared {
+					paramsList[i] = first // identical streams: maximal sharing
+				} else {
+					paramsList[i] = randSynthParams(rng)
+				}
+			}
+			name := fmt.Sprintf("seed%d/%s-%dc-%s", seed, v.name, cores, cfg.Core.Scheme)
+			diffSteppers(t, name, cfg, synthGens(paramsList, instr), 0)
+		}
+	}
+}
+
+// TestParallelStepperGOMAXPROCS repeats a coherent shared-address
+// differential with real host parallelism, so goroutines genuinely
+// interleave instead of cooperatively yielding on one P.
+func TestParallelStepperGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(99))
+	p := randSynthParams(rng)
+	p.FracStore = 0.25 // plenty of upgrade/invalidation traffic
+	paramsList := []synth.Params{p, p, p, p}
+	cfg := MulticoreConfig{
+		Cores: 4, Core: DefaultConfig(), L2: mem.DefaultL2Config(),
+		SharedAddressSpace: true, Coherence: true,
+	}
+	cfg.Core.ValueCheck = false
+	diffSteppers(t, "gomaxprocs4", cfg, synthGens(paramsList, 5000), 0)
+}
+
+// TestParallelStepperCommitCap pins the maxCommitsPerCore path: capped
+// parallel runs stop at the identical instruction boundary the oracle
+// stops at.
+func TestParallelStepperCommitCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	paramsList := []synth.Params{randSynthParams(rng), randSynthParams(rng), randSynthParams(rng)}
+	cfg := MulticoreConfig{Cores: 3, Core: DefaultConfig(), L2: mem.DefaultL2Config()}
+	cfg.Core.ValueCheck = false
+	diffSteppers(t, "cap2500", cfg, synthGens(paramsList, 10_000), 2500)
+}
+
+// TestParallelStepperSingleCore: one core under the parallel stepper is
+// the degenerate gate (no other cores to wait on) and must still match.
+func TestParallelStepperSingleCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	paramsList := []synth.Params{randSynthParams(rng)}
+	cfg := MulticoreConfig{Cores: 1, Core: DefaultConfig(), L2: mem.DefaultL2Config(), Coherence: true}
+	cfg.Core.ValueCheck = false
+	diffSteppers(t, "1core", cfg, synthGens(paramsList, 6000), 0)
+}
+
+// --- skew-window safety edges -----------------------------------------------
+
+// skewSharingConfig is a 2-core coherent shared-address machine with an
+// asymmetric pair of workloads: core 0 is store-heavy and fast, core 1
+// FP-divide-bound and slow, so under a skew window the fast core actually
+// runs ahead and coherence traffic crosses the window edge.
+func skewSharingConfig() (MulticoreConfig, func() []trace.Generator) {
+	cfg := MulticoreConfig{
+		Cores: 2, Core: DefaultConfig(), L2: mem.DefaultL2Config(),
+		SharedAddressSpace: true, Coherence: true,
+	}
+	cfg.Core.ValueCheck = false
+	fast := synth.Defaults()
+	fast.Seed = 41
+	fast.FracStore = 0.3
+	fast.FracLoad = 0.3
+	slow := fast // same address stream, different mix speed
+	slow.FracFPDiv = 0.2
+	slow.FracFPALU = 0.2
+	return cfg, synthGens([]synth.Params{fast, slow}, 6000)
+}
+
+// TestSkewEdgeInvalidation: a core sitting at the window edge receives
+// invalidations from the other core's stores. The differential pins that
+// delivery happens at the identical cycle the oracle delivers it, and the
+// run must actually exercise the traffic it claims to test.
+func TestSkewEdgeInvalidation(t *testing.T) {
+	cfg, mkGens := skewSharingConfig()
+	want := runMulticoreMode(t, cfg, StepLockstep, mkGens, 0)
+	for _, w := range []int64{0, 1, 4, 64} {
+		got := runMulticoreMode(t, cfg, StepSkew(w), mkGens, 0)
+		if got.agg != want.agg {
+			t.Errorf("skew:%d diverges on the invalidation-at-window-edge run:\n got  %+v\n want %+v",
+				w, got.agg, want.agg)
+		}
+	}
+	cfg.Step = StepSkew(4)
+	mc, err := NewMulticore(cfg, mkGens())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mc.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L2Invalidations == 0 {
+		t.Error("skew sharing run drove no invalidations; the edge case is not exercised")
+	}
+	if st.L2Upgrades == 0 {
+		t.Error("skew sharing run drove no ownership upgrades; the upgrade-vs-reader race is not exercised")
+	}
+}
+
+// TestSkewUpgradeRacesReader: both cores store into the same lines, so
+// ownership upgrades race skewed readers and each other; every window
+// must resolve the race exactly as the oracle does.
+func TestSkewUpgradeRacesReader(t *testing.T) {
+	cfg := MulticoreConfig{
+		Cores: 2, Core: DefaultConfig(), L2: mem.DefaultL2Config(),
+		SharedAddressSpace: true, Coherence: true,
+	}
+	cfg.Core.ValueCheck = false
+	p := synth.Defaults()
+	p.Seed = 53
+	p.FracStore = 0.35
+	p.FracLoad = 0.25
+	diffSteppers(t, "storestorm", cfg, synthGens([]synth.Params{p, p}, 6000), 0)
+}
+
+// TestSkewWindowLargerThanRun: a window far beyond the run length (and
+// the unbounded spelling) degenerates to free-running cores whose shared
+// interactions are still gated — results must not move.
+func TestSkewWindowLargerThanRun(t *testing.T) {
+	cfg, mkGens := skewSharingConfig()
+	want := runMulticoreMode(t, cfg, StepLockstep, mkGens, 0)
+	for _, mode := range []StepMode{StepSkew(1 << 40), StepSkew(-1), StepMode("skew:inf")} {
+		got := runMulticoreMode(t, cfg, mode, mkGens, 0)
+		if got.agg != want.agg {
+			t.Errorf("step=%q diverges with window larger than the run:\n got  %+v\n want %+v",
+				mode, got.agg, want.agg)
+		}
+	}
+}
+
+// --- mode plumbing ----------------------------------------------------------
+
+// TestParseStepMode pins the accepted spellings and the rejections.
+func TestParseStepMode(t *testing.T) {
+	good := map[string]stepPlan{
+		"":         {},
+		"lockstep": {},
+		"parallel": {concurrent: true},
+		"skew:0":   {concurrent: true, window: 0},
+		"skew:12":  {concurrent: true, window: 12},
+		"skew:inf": {concurrent: true, window: -1},
+	}
+	for s, want := range good {
+		m, err := ParseStepMode(s)
+		if err != nil {
+			t.Errorf("ParseStepMode(%q): %v", s, err)
+			continue
+		}
+		if got, _ := m.plan(); got != want {
+			t.Errorf("ParseStepMode(%q) plan %+v, want %+v", s, got, want)
+		}
+	}
+	for _, s := range []string{"skew:", "skew:-3", "skew:w", "turbo", "Lockstep", "skew:1x"} {
+		if _, err := ParseStepMode(s); err == nil {
+			t.Errorf("ParseStepMode(%q) accepted, want error", s)
+		}
+	}
+}
+
+// TestParallelRejectsProbe: probes are one shared callback across cores
+// and only the serial oracle may drive them.
+func TestParallelRejectsProbe(t *testing.T) {
+	cfg := MulticoreConfig{Cores: 2, Core: DefaultConfig(), L2: mem.DefaultL2Config(), Step: StepParallel}
+	cfg.Core.Policies.Probe = BaseProbe{}
+	if err := cfg.Validate(); err == nil {
+		t.Error("parallel stepping with a probe must be rejected")
+	}
+	cfg.Step = StepLockstep
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("lockstep with a probe must stay valid: %v", err)
+	}
+	cfg.Step = StepMode("warp")
+	cfg.Core.Policies.Probe = nil
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown step mode must be rejected")
+	}
+}
+
+// TestMulticoreLiveTracking: Done() is O(1) after a drain and the serial
+// loop never steps a drained core again (the live list shrinks).
+func TestMulticoreLiveTracking(t *testing.T) {
+	cfg := MulticoreConfig{Cores: 2, Core: DefaultConfig(), L2: mem.DefaultL2Config()}
+	cfg.Core.ValueCheck = false
+	short := synth.Defaults()
+	short.Seed = 3
+	long := synth.Defaults()
+	long.Seed = 4
+	mc, err := NewMulticore(cfg, []trace.Generator{
+		trace.Take(synth.New(short), 500),
+		trace.Take(synth.New(long), 8000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Done() {
+		t.Fatal("fresh multicore reports done")
+	}
+	if _, err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !mc.Done() {
+		t.Fatal("drained multicore not done")
+	}
+	if mc.liveCount != 0 {
+		t.Errorf("liveCount %d after drain, want 0", mc.liveCount)
+	}
+	c0, c1 := mc.Core(0).cycle, mc.Core(1).cycle
+	if c0 >= c1 {
+		t.Errorf("short-trace core stepped to cycle %d, long core %d: drained core kept stepping", c0, c1)
+	}
+}

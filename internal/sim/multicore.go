@@ -43,6 +43,11 @@ type MulticoreSpec struct {
 	Coherence bool
 	// MaxInstrPerCore bounds every core's trace.
 	MaxInstrPerCore int64
+	// Step selects the stepping strategy (lockstep oracle, parallel, or
+	// skew:W — see pipeline.ParseStepMode). Every mode produces
+	// bit-identical results; the engine still keys on it so throughput
+	// experiments comparing steppers never share a cache entry.
+	Step pipeline.StepMode
 }
 
 // CheckMulticoreWorkload validates one multicore workload name — catalog
@@ -117,6 +122,7 @@ func RunMulticoreContext(ctx context.Context, spec MulticoreSpec) (MulticoreResu
 		L2:                 spec.L2,
 		SharedAddressSpace: spec.SharedAddressSpace,
 		Coherence:          spec.Coherence,
+		Step:               spec.Step,
 	}, gens)
 	if err != nil {
 		return MulticoreResult{}, err
