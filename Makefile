@@ -5,11 +5,22 @@ GO ?= go
 # Tier-1 gate: everything must vet, build and pass.
 check: vet build test
 
+# Waiver ratchet: vplint fails when the tree's total waiver count
+# (//vpr:allowalloc, statsexempt, nocachekey, phaseexempt, guardexempt,
+# detexempt) exceeds this baseline. Lower it when a waiver is removed;
+# raising it needs a justification in the change that does so. The
+# baseline covers the scanoracle variant, which carries the extra
+# scan-kernel waivers (58 on the default tags as of this writing).
+VPLINT_MAX_WAIVERS ?= 60
+
 # Invariant lint: the vplint analyzers (docs/LINTING.md) over the whole
 # module, in both build-tag variants so the scan oracle stays analyzable.
+# The binary is built once and reused; only the loader's go-list pass
+# differs between the variants.
 lint:
-	$(GO) run ./cmd/vplint ./...
-	$(GO) run ./cmd/vplint -tags scanoracle ./...
+	$(GO) build -o bin/vplint ./cmd/vplint
+	./bin/vplint -maxwaivers $(VPLINT_MAX_WAIVERS) ./...
+	./bin/vplint -maxwaivers $(VPLINT_MAX_WAIVERS) -tags scanoracle ./...
 
 vet:
 	$(GO) vet ./...

@@ -3,21 +3,34 @@
 // non-zero if any finding survives. It is the mechanized form of the
 // review checklist documented in docs/LINTING.md:
 //
+//	annotcheck    //vpr: directives must be known, well-placed, and
+//	              well-formed (a typo silently disables its analyzer)
 //	hotpathalloc  //vpr:hotpath functions and their static callees must
 //	              not allocate (waive per line with //vpr:allowalloc)
 //	statsflow     every //vpr:stats counter must reach a //vpr:statsink
 //	cachekey      every //vpr:cachekey field must render into the
 //	              engine's canonical result-cache key
 //	reghygiene    //vpr:registry tables stay init-time and name-unique
+//	phasepure     //vpr:computephase code must never reach the
+//	              //vpr:memphase shared-memory surface
+//	sharedguard   //vpr:shared gate fields stay atomic and
+//	              method-accessed; //vpr:coreprivate stays off goroutines
+//	detsource     //vpr:detpkg packages must not read wall time or
+//	              randomness, spawn goroutines, or leak map order
 //
 // Usage:
 //
-//	go run ./cmd/vplint [-tags list] [packages]
+//	go run ./cmd/vplint [-tags list] [-maxwaivers N] [packages]
 //
 // Packages default to ./... . The -tags flag mirrors the build flag so
 // tagged trees (the scanoracle differential kernel) stay analyzable:
 //
 //	go run ./cmd/vplint -tags scanoracle ./internal/pipeline/...
+//
+// -maxwaivers N fails the run when the loaded packages carry more than N
+// //vpr:*exempt / //vpr:allowalloc waiver directives in total — the
+// ratchet (make lint pins the committed baseline) that keeps waivers
+// from accumulating silently. N < 0 disables the check.
 package main
 
 import (
@@ -33,8 +46,9 @@ import (
 func main() {
 	tags := flag.String("tags", "", "comma-separated build tags, as for go build")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	maxWaivers := flag.Int("maxwaivers", -1, "fail if more than this many waiver directives exist (< 0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vplint [-tags list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vplint [-tags list] [-maxwaivers N] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repro invariant linters (docs/LINTING.md). Analyzers:\n\n")
 		printAnalyzers(flag.CommandLine.Output())
 		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
@@ -67,7 +81,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vplint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
-	fmt.Printf("vplint: %d packages clean\n", len(pkgs))
+	waivers := lint.CountWaivers(fset, pkgs)
+	if *maxWaivers >= 0 && waivers > *maxWaivers {
+		fmt.Fprintf(os.Stderr,
+			"vplint: %d waiver directives exceed the -maxwaivers %d baseline — remove waivers, or raise the Makefile baseline with a justification\n",
+			waivers, *maxWaivers)
+		os.Exit(1)
+	}
+	fmt.Printf("vplint: %d packages clean (%d waivers)\n", len(pkgs), waivers)
 }
 
 func printAnalyzers(w io.Writer) {

@@ -22,6 +22,13 @@
 // execution finishes (any order), Commit oldest-first, and Squash
 // newest-first when recovering from a misprediction. Violations panic: they
 // are simulator bugs, not recoverable conditions.
+//
+// Renamer state is replayed bit-for-bit by the run cache and the parallel
+// stepper, so the package is determinism-checked: vplint's detsource
+// analyzer bans unwaived wall clocks, goroutine launches and
+// order-dependent map iteration here.
+//
+//vpr:detpkg
 package core
 
 import "repro/internal/isa"

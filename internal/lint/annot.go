@@ -23,11 +23,25 @@ import (
 //	//vpr:registry NAMESPACE         on a package-level var: static registration table
 //	//vpr:register NAMESPACE         on a func: runtime registration entry point
 //	//vpr:lookup NAMESPACE           on a func: registry lookup entry point
+//	//vpr:computephase               on a func: compute-phase root — must not reach the memory surface
+//	//vpr:memphase                   on a func or interface method: shared-memory-phase code
+//	//vpr:memstate                   on a struct or interface: shared memory state surface
+//	//vpr:phaseexempt [reason]       on a func/method decl or on/above a line: waive one phasepure finding
+//	//vpr:shared                     on a field: cross-goroutine gate state, must stay atomic
+//	//vpr:coreprivate                on a field: serial-only state, off-limits to stepper goroutines
+//	//vpr:guardexempt [reason]       on/above a line: waive one sharedguard finding
+//	//vpr:stepper                    on a func: the only place goroutines may be launched
+//	//vpr:wallclock [reason]         on a func: host-time throughput accounting, exempt from detsource
+//	//vpr:detpkg                     on a package doc: package is determinism-checked by detsource
+//	//vpr:detexempt [reason]         on/above a line: waive one detsource finding
 //
 // Directives are ordinary comments starting exactly with "//vpr:"; the
 // first word after the colon is the directive name, the rest its
-// arguments. They ride in doc comments (functions, types, vars, fields)
-// or stand on/immediately above the line they waive.
+// arguments. A second "//" inside the comment starts a trailing remark
+// and ends the directive's arguments. Directives ride in doc comments
+// (functions, types, vars, fields, interface methods, package clauses)
+// or stand on/immediately above the line they waive; annotcheck rejects
+// unknown names and misplaced directives against the table below.
 
 // directive is one parsed //vpr: annotation.
 type directive struct {
@@ -49,7 +63,12 @@ func parseDirectives(groups ...*ast.CommentGroup) []directive {
 			if !strings.HasPrefix(c.Text, directivePrefix) {
 				continue
 			}
-			fields := strings.Fields(c.Text[len(directivePrefix):])
+			text := c.Text[len(directivePrefix):]
+			// A second "//" starts a trailing remark, not arguments.
+			if i := strings.Index(text, " //"); i >= 0 {
+				text = text[:i]
+			}
+			fields := strings.Fields(text)
 			if len(fields) == 0 {
 				continue
 			}
@@ -233,4 +252,138 @@ func encloserAt(file *ast.File, pos token.Pos) enclosure {
 		}
 	}
 	return atPackageLevel
+}
+
+// funcDeclAt returns the top-level function declaration whose body spans
+// pos, or nil for package-level positions.
+func funcDeclAt(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// baseIdentOf unwraps a selector/index/star/paren chain to the
+// identifier it is rooted in: baseIdentOf(r.m.cores[i]) = r. Returns nil
+// for expressions not rooted in a plain identifier (calls, literals).
+func baseIdentOf(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pkgHasDirective reports whether any file's package doc in pkg carries
+// the directive (e.g. //vpr:detpkg).
+func pkgHasDirective(pkg *analysis.Package, name string) bool {
+	for _, file := range pkg.Syntax {
+		if hasDirective(parseDirectives(file.Doc), name) {
+			return true
+		}
+	}
+	return false
+}
+
+// The known-directive table: where each //vpr: directive may be placed
+// and how many arguments it takes. annotcheck enforces it so a typo or a
+// misplaced directive is an error instead of a silently disabled check.
+
+// placement is a bitmask of syntactic positions a directive may occupy.
+type placement uint16
+
+const (
+	onFunc        placement = 1 << iota // function/method declaration doc
+	onStructType                        // struct type declaration doc
+	onIfaceType                         // interface type declaration doc
+	onField                             // struct field doc or trailing comment
+	onIfaceMethod                       // interface method doc or trailing comment
+	onVar                               // package-level var spec doc or trailing comment
+	onPackage                           // package doc
+	onLine                              // freestanding or trailing statement comment
+)
+
+// placementName spells one placement bit for diagnostics.
+func placementName(p placement) string {
+	switch p {
+	case onFunc:
+		return "a function declaration"
+	case onStructType:
+		return "a struct type declaration"
+	case onIfaceType:
+		return "an interface type declaration"
+	case onField:
+		return "a struct field"
+	case onIfaceMethod:
+		return "an interface method"
+	case onVar:
+		return "a package-level var"
+	case onPackage:
+		return "a package doc comment"
+	case onLine:
+		return "a statement line"
+	}
+	return "a declaration that takes no directives"
+}
+
+// placementNames spells a placement set ("a function declaration or a
+// struct field").
+func placementNames(p placement) string {
+	var parts []string
+	for bit := placement(1); bit <= onLine; bit <<= 1 {
+		if p&bit != 0 {
+			parts = append(parts, placementName(bit))
+		}
+	}
+	return strings.Join(parts, " or ")
+}
+
+// directiveSpec is one row of the known-directive table.
+type directiveSpec struct {
+	where  placement
+	args   int  // exact argument count, when reason is false
+	reason bool // free-form reason text instead of counted arguments
+}
+
+var directiveTable = map[string]directiveSpec{
+	"hotpath":      {where: onFunc},
+	"coldpath":     {where: onFunc},
+	"allowalloc":   {where: onLine, reason: true},
+	"stats":        {where: onStructType},
+	"statsink":     {where: onFunc, args: 1},
+	"statsexempt":  {where: onField, reason: true},
+	"cachekey":     {where: onStructType},
+	"keyfunc":      {where: onFunc, args: 1},
+	"nocachekey":   {where: onField, reason: true},
+	"registry":     {where: onVar, args: 1},
+	"register":     {where: onFunc, args: 1},
+	"lookup":       {where: onFunc, args: 1},
+	"computephase": {where: onFunc},
+	"memphase":     {where: onFunc | onIfaceMethod},
+	"memstate":     {where: onStructType | onIfaceType},
+	"phaseexempt":  {where: onFunc | onIfaceMethod | onLine, reason: true},
+	"shared":       {where: onField},
+	"coreprivate":  {where: onField},
+	"guardexempt":  {where: onLine, reason: true},
+	"stepper":      {where: onFunc},
+	"wallclock":    {where: onFunc, reason: true},
+	"detpkg":       {where: onPackage},
+	"detexempt":    {where: onLine, reason: true},
 }

@@ -5,14 +5,56 @@
 // the //vpr: annotation grammar they consume.
 package lint
 
-import "repro/internal/lint/analysis"
+import (
+	"go/token"
 
-// Analyzers returns the full suite in reporting order.
+	"repro/internal/lint/analysis"
+)
+
+// Analyzers returns the full suite in reporting order. AnnotCheck runs
+// first: every other analyzer keys off the //vpr: directives it
+// validates.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		AnnotCheck,
 		HotPathAlloc,
 		StatsFlow,
 		CacheKey,
 		RegHygiene,
+		PhasePure,
+		SharedGuard,
+		DetSource,
 	}
+}
+
+// waiverDirectives are the //vpr:*exempt / allow* directives that excuse
+// one finding each. CountWaivers backs vplint's -maxwaivers ratchet: the
+// committed baseline in the Makefile keeps waivers from silently
+// accumulating.
+var waiverDirectives = []string{
+	"allowalloc",
+	"statsexempt",
+	"nocachekey",
+	"phaseexempt",
+	"guardexempt",
+	"detexempt",
+}
+
+// CountWaivers counts every waiver directive in the loaded packages.
+func CountWaivers(fset *token.FileSet, pkgs []*analysis.Package) int {
+	n := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, g := range file.Comments {
+				for _, d := range parseDirectives(g) {
+					for _, w := range waiverDirectives {
+						if d.name == w {
+							n++
+						}
+					}
+				}
+			}
+		}
+	}
+	return n
 }

@@ -26,3 +26,21 @@ func TestCacheKeyFixture(t *testing.T) {
 func TestRegHygieneFixture(t *testing.T) {
 	linttest.Run(t, "testdata/reghygiene", lint.RegHygiene)
 }
+
+func TestPhasePureFixture(t *testing.T) {
+	linttest.Run(t, "testdata/phasepure", lint.PhasePure)
+}
+
+func TestSharedGuardFixture(t *testing.T) {
+	linttest.Run(t, "testdata/sharedguard", lint.SharedGuard)
+}
+
+func TestDetSourceFixture(t *testing.T) {
+	linttest.Run(t, "testdata/detsource", lint.DetSource)
+}
+
+// AnnotCheck has no waiver directive by design; its fixture's
+// honored-waiver half is the conforming placements staying quiet.
+func TestAnnotCheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/annotcheck", lint.AnnotCheck)
+}

@@ -1,0 +1,63 @@
+// Package fixture seeds phasepure violations around the surface declared
+// in the mem subpackage: a compute-phase chain that reaches the surface,
+// a waived edge, an unfenced cross-package caller, and a function
+// annotated on both sides of the fence.
+package fixture
+
+import "fixture/mem"
+
+// Core drives one port of the shared store.
+type Core struct {
+	port *mem.Store
+	acc  uint64
+}
+
+// stepCompute is a compute-phase root; its whole static call tree must
+// stay off the surface.
+//
+//vpr:computephase
+func (c *Core) stepCompute() {
+	c.acc++
+	c.helper()
+}
+
+// helper is compute-reachable and touches the surface.
+func (c *Core) helper() {
+	c.port.Write(c.acc, 1) // want `compute-phase function .*helper .* calls .*Write .* only the gate-serialized memory phase may touch shared memory state`
+}
+
+// stepWaived is a compute-phase root whose one surface edge is waived.
+//
+//vpr:computephase
+func (c *Core) stepWaived() {
+	//vpr:phaseexempt fixture: the edge under test is deliberately waived
+	c.port.Write(0, 0)
+}
+
+// flush calls the surface cross-package without carrying the fence.
+func (c *Core) flush() {
+	c.port.Write(0, 1) // want `flush calls .*Write .* outside the memory phase`
+}
+
+// drain carries the fence, so its surface call is the implementation.
+//
+//vpr:memphase
+func (c *Core) drain() {
+	c.port.Write(0, 2)
+}
+
+// confused claims both phases at once. // want below anchors on the name.
+//
+//vpr:computephase
+//vpr:memphase
+func (c *Core) confused() {} // want `annotated both //vpr:computephase and //vpr:memphase`
+
+// use keeps the fixture's entry points referenced.
+func use(c *Core) {
+	c.stepCompute()
+	c.stepWaived()
+	c.flush()
+	c.drain()
+	c.confused()
+	_ = c.port.Hits()
+}

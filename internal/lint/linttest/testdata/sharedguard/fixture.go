@@ -1,0 +1,67 @@
+// Package fixture seeds sharedguard violations: a //vpr:shared field
+// with a non-atomic type, a shared slice whose element address escapes,
+// a waived raw read, and a //vpr:coreprivate field referenced from code
+// a stepper goroutine reaches.
+package fixture
+
+import "sync/atomic"
+
+// run is one stepping session's gate state.
+type run struct {
+	//vpr:shared
+	memCycle []atomic.Int64
+	//vpr:shared
+	stopped atomic.Bool
+	//vpr:shared
+	badFlag bool // want `//vpr:shared field fixture.run.badFlag must be a sync/atomic type`
+
+	//vpr:coreprivate
+	scratch []int
+
+	plain int
+}
+
+// ok drives the shared fields through their atomic methods, ranges, and
+// len — every sanctioned access shape, all quiet.
+func (r *run) ok() int64 {
+	r.stopped.Store(true)
+	n := int64(len(r.memCycle))
+	for i := range r.memCycle {
+		n += r.memCycle[i].Load()
+	}
+	r.plain++
+	return n
+}
+
+// leak lets an element's address escape the atomic discipline.
+func (r *run) leak() *atomic.Int64 {
+	return &r.memCycle[0] // want `//vpr:shared field fixture.run.memCycle used outside its atomic methods`
+}
+
+// snapshot copies the raw slice header under a waiver.
+func (r *run) snapshot() []atomic.Int64 {
+	//vpr:guardexempt fixture: header copied only after the goroutines join
+	return r.memCycle
+}
+
+// launch is the sanctioned goroutine site; everything its goroutines
+// reach must stay off the core-private state.
+//
+//vpr:stepper
+func (r *run) launch() {
+	go r.loop()
+}
+
+// loop runs on a stepper goroutine.
+func (r *run) loop() {
+	for !r.stopped.Load() {
+		r.work()
+	}
+}
+
+// work is goroutine-reachable through loop and touches serial-only state.
+func (r *run) work() {
+	_ = r.scratch[0] // want `//vpr:coreprivate field fixture.run.scratch referenced from .*work`
+	//vpr:guardexempt fixture: this read is proven race-free by the join barrier
+	_ = r.scratch[1]
+}

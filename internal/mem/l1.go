@@ -79,6 +79,8 @@ type mshr struct {
 // parallel stepper (pipeline/parallel.go) serializes all such phases in
 // global (cycle, core-index) order, so the two parties never run
 // concurrently and l.now never observes time running backwards.
+//
+//vpr:memstate
 type L1 struct {
 	cfg       L1Config
 	base      uint64
@@ -147,6 +149,7 @@ func (l *L1) drain(now int64) {
 // Drain implements Memory.
 //
 //vpr:hotpath
+//vpr:memphase
 func (l *L1) Drain(now int64) { l.drain(now) }
 
 // Access performs a load (write=false) or store (write=true) of the word
@@ -157,6 +160,7 @@ func (l *L1) Drain(now int64) { l.drain(now) }
 // the shared L2 instead of a constant.
 //
 //vpr:hotpath
+//vpr:memphase
 func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 	l.drain(now)
 	l.st.Accesses++

@@ -118,6 +118,8 @@ type bank struct {
 // deterministic. With strict ordering enabled (System.EnableStrictCoreOrder)
 // that contract is asserted: same-cycle requests must arrive from
 // non-decreasing core indices.
+//
+//vpr:memstate
 type BankedL2 struct {
 	cfg       L2Config
 	lineBytes int
@@ -291,6 +293,8 @@ func (c *BankedL2) reserveBus(b *bank, now int64) int64 {
 // approximation the old cache.Config L2 mode used); the in-flight list
 // only widens the merge window for other cores. Non-coherent entry point:
 // the L1s call fetch directly so the directory sees the requesting port.
+//
+//vpr:memphase
 func (c *BankedL2) Fetch(now int64, lineAddr uint64) (penalty int, floor int64) {
 	return c.fetch(now, lineAddr, 0, false)
 }
@@ -416,6 +420,8 @@ func (c *BankedL2) claimOwnership(b *bank, e *dirEntry, lineAddr uint64, core in
 // copy and must invalidate every other copy before marking it Modified.
 // Returns the cycle the upgrade traffic completes (now when the L2 is not
 // coherent — the non-coherent hierarchy never calls it).
+//
+//vpr:memphase
 func (c *BankedL2) Upgrade(now int64, lineAddr uint64, core int) int64 {
 	if !c.coherent {
 		return now
@@ -461,6 +467,8 @@ func (c *BankedL2) evictVictim(b *bank, set int, now int64) {
 // WriteBack lands a dirty L1 victim in the L2, occupying the bank's bus
 // for one line transfer. Non-coherent entry point; the L1s call writeBack
 // so the directory learns which port gave the line up.
+//
+//vpr:memphase
 func (c *BankedL2) WriteBack(now int64, lineAddr uint64) {
 	c.writeBack(now, lineAddr, 0)
 }

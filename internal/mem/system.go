@@ -16,6 +16,8 @@ const CoreAddrShift = 48
 // gate that reproduces the identical global (cycle, core-index) request
 // order. Either discipline keeps the shared L2 state deterministic;
 // EnableStrictCoreOrder makes the L2 assert it.
+//
+//vpr:memstate
 type System struct {
 	l2  *BankedL2
 	l1s []*L1
@@ -76,6 +78,8 @@ func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr, coherent bool) (
 // satisfies the order by construction, and for the parallel stepper the
 // assertion is the tripwire that would catch a memory-gate bug as a
 // panic instead of a silently different statistic.
+//
+//vpr:phaseexempt setup-time: called once by the runner before stepping begins
 func (s *System) EnableStrictCoreOrder() { s.l2.strictOrder = true }
 
 // Cores returns the number of L1 ports.

@@ -20,7 +20,10 @@ import "fmt"
 // The parallel stepper serializes calls in global (cycle, core-index)
 // order via the memory gate in parallel.go; everything else in the
 // cycle runs concurrently across cores. Keep shared-state access inside
-// this phase or the determinism contract breaks.
+// this phase or the determinism contract breaks — vplint's phasepure
+// analyzer enforces it through this annotation.
+//
+//vpr:memphase
 func (s *Sim) executeStage(now int64) error {
 	if s.scan {
 		return s.executeScan(now)
@@ -111,6 +114,8 @@ func (s *Sim) deliverAGU(ev wevent) {
 
 // tryLoad attempts to give a post-AGU load its value: forwarded from the
 // youngest older matching store in its thread, or from the shared cache.
+//
+//vpr:memphase
 func (s *Sim) tryLoad(th *thread, e *robEntry, now int64, ports *int) error {
 	var match *sqEntry
 	for i := th.sqN - 1; i >= 0; i-- {

@@ -94,11 +94,20 @@ type Multicore struct {
 
 	// Live-core tracking: drained[i] is set the first time core i reports
 	// Done, decrementing liveCount, so Done() is O(1) once everything has
-	// drained and the run loops never rescan finished cores.
-	drained   []bool
+	// drained and the run loops never rescan finished cores. All three
+	// fields belong to the serial control plane — the stepper goroutines
+	// must never reach them (sharedguard enforces it).
+	//
+	//vpr:coreprivate
+	drained []bool
+	//vpr:coreprivate
 	liveCount int
-	liveBuf   []int // reused index scratch for the serial run loop
+	// liveBuf is reused index scratch for the serial run loop.
+	//
+	//vpr:coreprivate
+	liveBuf []int
 
+	//vpr:coreprivate
 	wallNanos int64
 }
 
@@ -190,6 +199,8 @@ func (m *Multicore) Run(maxCommitsPerCore int64) (Stats, error) {
 
 // RunContext is Run under a context: cancellation stops the stepper
 // between cycles and surfaces ctx.Err().
+//
+//vpr:wallclock host-throughput accounting only; never feeds simulated state
 func (m *Multicore) RunContext(ctx context.Context, maxCommitsPerCore int64) (Stats, error) {
 	start := time.Now()
 	var err error

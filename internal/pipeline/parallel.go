@@ -144,9 +144,16 @@ type parRun struct {
 	// memCycle[i] is the highest cycle whose memory phase core i has
 	// completed; completed[i] the highest cycle it has fully completed.
 	// Both start at startCycle-1 and jump to parDone when the core stops.
-	memCycle  []atomic.Int64
+	// The gate state is cross-goroutine: sharedguard pins these fields to
+	// sync/atomic types accessed only through their methods, which is
+	// where the happens-before edges of the gate protocol come from.
+	//
+	//vpr:shared
+	memCycle []atomic.Int64
+	//vpr:shared
 	completed []atomic.Int64
 
+	//vpr:shared
 	stopped atomic.Bool
 	errMu   sync.Mutex
 	err     error
@@ -155,7 +162,10 @@ type parRun struct {
 
 // runParallel steps every core on its own goroutine under the memory
 // gate. Bit-identical to runLoop by construction; see the package comment
-// above.
+// above. This is the module's one sanctioned goroutine-launch site
+// (detsource's //vpr:stepper).
+//
+//vpr:stepper
 func (m *Multicore) runParallel(ctx context.Context, maxCommitsPerCore int64) error {
 	r := &parRun{
 		m:         m,

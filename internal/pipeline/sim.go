@@ -49,6 +49,12 @@
 // (FetchPolicy, IssueSelect) and the zero-allocation Probe interface,
 // each looked up by name in a registry so engine cache keys stay
 // canonical.
+//
+// The package is determinism-checked: vplint's detsource analyzer bans
+// wall-clock reads, randomness, goroutine launches, and map-order leaks
+// outside their annotated sanctioned sites (docs/LINTING.md).
+//
+//vpr:detpkg
 package pipeline
 
 import (
@@ -524,6 +530,8 @@ const ctxCheckCycles = 4096
 // Wall-clock time spent inside the run loop accumulates into the
 // throughput fields of Stats (cycles and instructions simulated per host
 // second).
+//
+//vpr:wallclock host-throughput accounting only; never feeds simulated state
 func (s *Sim) RunContext(ctx context.Context, maxCommits int64) (Stats, error) {
 	start := time.Now()
 	err := s.runLoop(ctx, maxCommits)
@@ -576,6 +584,7 @@ func (s *Sim) Step() error {
 // cycle's memory footprint is fixed — memQuiet is meaningful.
 //
 //vpr:hotpath
+//vpr:computephase
 func (s *Sim) stepFront(now int64) error {
 	if s.probe != nil {
 		s.probe.CycleStart(now)
@@ -593,6 +602,7 @@ func (s *Sim) stepFront(now int64) error {
 // touch shared state.
 //
 //vpr:hotpath
+//vpr:memphase
 func (s *Sim) stepMem(now int64) error {
 	return s.executeStage(now)
 }
@@ -602,6 +612,7 @@ func (s *Sim) stepMem(now int64) error {
 // clock.
 //
 //vpr:hotpath
+//vpr:computephase
 func (s *Sim) stepBack(now int64) error {
 	if err := s.issueStage(now); err != nil {
 		return err
@@ -645,6 +656,7 @@ func (s *Sim) stepBack(now int64) error {
 // taking the global memory gate.
 //
 //vpr:hotpath
+//vpr:computephase
 func (s *Sim) memQuiet(now int64) bool {
 	if s.scan || s.sbN > 0 || !s.aguWheel.emptyAt(now) {
 		return false

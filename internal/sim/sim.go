@@ -3,6 +3,12 @@
 // runs it for a bounded number of instructions, and returns the combined
 // result. The batching, caching and experiment layers in internal/engine
 // and internal/experiments are sweeps over this entry point.
+//
+// Results feed the content-addressed run cache, so the package is
+// determinism-checked: vplint's detsource analyzer bans unwaived wall
+// clocks, goroutine launches and order-dependent map iteration here.
+//
+//vpr:detpkg
 package sim
 
 import (
