@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test lint diff-oracle race bench tables clean
+.PHONY: check vet build test lint diff-oracle race bench profile tables clean
 
 # Tier-1 gate: everything must vet, build and pass.
 check: vet build test
@@ -43,12 +43,24 @@ race:
 
 # Benchmarks; BenchmarkRunBatch compares the serial and parallel engine,
 # and vpbench records the perf trajectory into BENCH_pipeline.json
-# (instrs/sec per scheme, the multicore and coherence points, harness
-# timings — the schema and CI-enforced fields are documented in
-# docs/BENCH.md).
+# (instrs/sec per scheme, the multicore/coherence points with their
+# lockstep-vs-parallel twins and GOMAXPROCS sweep, harness timings — the
+# schema and CI-enforced fields are documented in docs/BENCH.md).
+# -repeat keeps the best of N runs per point so the recorded trajectory
+# measures the simulator, not host noise.
+BENCH_REPEAT ?= 5
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
-	$(GO) run ./cmd/vpbench -out BENCH_pipeline.json
+	$(GO) run ./cmd/vpbench -out BENCH_pipeline.json -repeat $(BENCH_REPEAT)
+
+# CPU+heap profiles of the vpbench measurement itself (the multicore
+# points dominate): feed the outputs to `go tool pprof bin/vpbench
+# cpu.pprof`. See docs/BENCH.md for reading them against the gate
+# counters.
+profile:
+	$(GO) build -o bin/vpbench ./cmd/vpbench
+	./bin/vpbench -out BENCH_profile.json -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "profiles: cpu.pprof mem.pprof (go tool pprof bin/vpbench cpu.pprof)"
 
 # Regenerate every paper table/figure through the registry + engine path.
 tables:

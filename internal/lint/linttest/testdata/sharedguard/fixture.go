@@ -38,6 +38,43 @@ func (r *run) leak() *atomic.Int64 {
 	return &r.memCycle[0] // want `//vpr:shared field fixture.run.memCycle used outside its atomic methods`
 }
 
+// slot is the padded gate-slot shape: scalar atomics annotated field by
+// field inside a cache-line-sized struct, held in a plain container
+// slice. The discipline attaches to the slot's fields, not the slice.
+type slot struct {
+	//vpr:shared
+	memCycle atomic.Int64
+	//vpr:shared
+	sleepers atomic.Int32
+
+	_ [104]byte
+}
+
+// padded is a runner over padded slots.
+type padded struct {
+	slots []slot
+}
+
+// okSlots exercises every sanctioned padded-slot access: atomic methods
+// through an index chain, through a held element pointer, and container
+// iteration.
+func (p *padded) okSlots() int64 {
+	n := int64(len(p.slots))
+	for i := range p.slots {
+		p.slots[i].memCycle.Store(int64(i))
+		n += p.slots[i].memCycle.Load()
+	}
+	s := &p.slots[0]
+	s.sleepers.Add(1)
+	n += int64(s.sleepers.Load())
+	return n
+}
+
+// leakSlotField lets a padded slot's atomic escape the discipline.
+func (p *padded) leakSlotField() *atomic.Int64 {
+	return &p.slots[0].memCycle // want `//vpr:shared field fixture.slot.memCycle used outside its atomic methods`
+}
+
 // snapshot copies the raw slice header under a waiver.
 func (r *run) snapshot() []atomic.Int64 {
 	//vpr:guardexempt fixture: header copied only after the goroutines join

@@ -109,6 +109,13 @@ type Multicore struct {
 
 	//vpr:coreprivate
 	wallNanos int64
+
+	// parSync accumulates the parallel stepper's wait-ladder counters
+	// (folded in by runParallel after its goroutines join; always zero
+	// under the lockstep oracle). Serial control plane, like wallNanos.
+	//
+	//vpr:coreprivate
+	parSync waitStats
 }
 
 // NewMulticore builds the machine, one trace generator per core.
@@ -286,6 +293,11 @@ func (m *Multicore) Aggregate() Stats {
 		agg.L2Upgrades = l2.L2Upgrades
 		agg.L2WritebackForwards = l2.L2WritebackForwards
 	}
+	agg.GateWaits = m.parSync.gateWaits
+	agg.PacingWaits = m.parSync.pacingWaits
+	agg.GateSpins = m.parSync.spins
+	agg.GateYields = m.parSync.yields
+	agg.GateParks = m.parSync.parks
 	agg.WallSeconds, agg.CyclesPerSec, agg.InstrsPerSec = 0, 0, 0
 	if m.wallNanos > 0 {
 		agg.WallSeconds = float64(m.wallNanos) / 1e9

@@ -11,10 +11,11 @@
 //
 // # The memory gate
 //
-// Each core publishes memCycle[i], the highest cycle whose memory phase
-// it has finished, through an atomic. Core i may run stepMem for cycle T
-// once every lower-indexed core has finished T's memory phase and every
-// higher-indexed core has finished T-1's:
+// Each core publishes the highest cycle whose memory phase it has
+// finished through an atomic in its own cache-line-padded gateSlot.
+// Core i may run stepMem for cycle T once every lower-indexed core has
+// finished T's memory phase and every higher-indexed core has finished
+// T-1's:
 //
 //	∀j<i: memCycle[j] >= T   and   ∀j>i: memCycle[j] >= T-1
 //
@@ -30,10 +31,32 @@
 //
 // Cores whose execute stage provably cannot touch memory this cycle
 // (Sim.memQuiet: empty store buffer, no pending or deliverable AGU work)
-// skip the wait entirely and just publish, which is what lets low-sharing
-// workloads run ahead instead of convoying behind the slowest core. With
-// the shared L2 disabled there is nothing shared at all and the gate is
-// bypassed wholesale.
+// skip the wait entirely, and publish their progress in strides rather
+// than every cycle, which is what lets low-sharing workloads run ahead
+// instead of convoying behind the slowest core. With the shared L2
+// disabled there is nothing shared at all and the gate is bypassed
+// wholesale.
+//
+// # Waiting: spin, yield, park
+//
+// How a core waits is a pure throttle — gate order alone enforces the
+// (cycle, core-index) serialization — so the wait ladder is tuned for
+// the host, not the contract. A blocked core first spins on the lagging
+// core's published atomic (bounded; skipped entirely at GOMAXPROCS=1,
+// where nothing can publish until we yield), then yields the processor
+// a bounded number of times with runtime.Gosched, and finally parks on
+// the lagging core's notifier, to be woken by that core's next publish.
+// Short waits stay latency-free in the spin rungs; long waits stop
+// burning CPU in the park rung. Liveness at any GOMAXPROCS, including 1:
+// a core flushes its own pending progress before probing anyone else, a
+// running core publishes at least every quietPublishStride cycles — and
+// immediately once a waiter registers on its slot — and a core that
+// stops publishes a terminal sentinel and wakes its parkers. The
+// lexicographically least (cycle, index) core among those not finished
+// never waits on the gate, and the most-behind core never waits on
+// pacing, so some core always advances; every other core's wait is then
+// resolved by a publish, a wake, or the bounded yield rungs handing the
+// processor to the core it is waiting for.
 //
 // # Pacing (the skew window)
 //
@@ -42,14 +65,7 @@
 // knob: a core may begin cycle T only once every live core has completed
 // cycle T-1-W, bounding the lead so gate waits stay short and cores stay
 // cache-warm. StepParallel is W=0 (a per-cycle barrier, the classic BSP
-// shape); StepSkew(W) relaxes it; "skew:inf" removes it. A blocked core
-// spins on runtime.Gosched, which keeps the stepper live even at
-// GOMAXPROCS=1.
-//
-// Liveness: the lexicographically least (cycle, index) core among those
-// not finished never waits on the gate — every condition it checks is on
-// a core strictly ahead of or equal to it — and the core with the least
-// completed cycle never waits on pacing, so some core always advances.
+// shape); StepSkew(W) relaxes it; "skew:inf" removes it.
 package pipeline
 
 import (
@@ -132,6 +148,129 @@ func (m StepMode) plan() (stepPlan, error) {
 // other core ever waits on it again.
 const parDone = math.MaxInt64
 
+// Wait-ladder and publish tuning. None of these affect results — the
+// gate condition alone admits memory phases — only how a blocked core
+// spends host time and how often a free-running core touches its slot.
+const (
+	// gateSpinProbes bounds the pure load-spin rung of a wait: cheap
+	// latency for waits that resolve in nanoseconds. Skipped when
+	// GOMAXPROCS=1 — on one processor nothing can publish until we
+	// yield, so spinning there is pure waste.
+	gateSpinProbes = 96
+
+	// gateYieldProbes bounds the runtime.Gosched rung before parking.
+	// At GOMAXPROCS=1 a yield hands the processor to the core being
+	// waited for, so most waits resolve in the first yield or two.
+	gateYieldProbes = 32
+
+	// quietPublishStride is how many memQuiet (or pacing-idle) cycles a
+	// core may run between progress publishes. Batching stops a
+	// free-running core from invalidating its slot's cache line in
+	// every waiter once per cycle; a registered parker (sleepers != 0)
+	// or the core's own wait entry flushes immediately, so nobody waits
+	// on a stale stride for long.
+	quietPublishStride = 32
+)
+
+// gateSlotPad rounds gateSlot up to gateSlotBytes so no two cores' slots
+// ever share a cache line (the slot's hot fields sit in its first bytes;
+// consecutive 128-byte elements keep them at least two 64-byte lines
+// apart at any base alignment). A test pins the arithmetic with
+// unsafe.Sizeof.
+const (
+	gateSlotBytes = 128
+	gateSlotPad   = gateSlotBytes - 20
+)
+
+// gateSlot is one core's published progress, padded to its own cache
+// line. PR-7 kept this state in dense []atomic.Int64 slices, which is
+// textbook false sharing: eight cores' per-cycle publishes landed in one
+// 64-byte line, so every publish invalidated every waiter's cached copy
+// of every other core's progress — exactly the coherence-traffic
+// pathology the simulator itself models. One padded slot per core keeps
+// each core's stores on a line nobody else writes.
+type gateSlot struct {
+	// memCycle is the highest cycle whose memory phase this core has
+	// completed; completed the highest cycle it has fully completed.
+	// Both start at startCycle-1 and jump to parDone when the core
+	// stops. The gate state is cross-goroutine: sharedguard pins these
+	// fields to sync/atomic types accessed only through their methods,
+	// which is where the happens-before edges of the gate protocol come
+	// from.
+	//
+	//vpr:shared
+	memCycle atomic.Int64
+	//vpr:shared
+	completed atomic.Int64
+
+	// sleepers counts waiters parked — or registering to park — on this
+	// core's parker. The owner checks it after each publish (and on
+	// every batched-publish decision) and wakes when nonzero; the
+	// seq-cst ordering of the register-then-recheck / publish-then-check
+	// pair is what rules out a lost wakeup.
+	//
+	//vpr:shared
+	sleepers atomic.Int32
+
+	_ [gateSlotPad]byte
+}
+
+// parker is one core's park-rung notifier: waiters that exhausted their
+// spin and yield budgets sleep on cond until the owner's next publish.
+// Parkers are deliberately a plain sibling slice, not part of the padded
+// slot — mutex and condition variable carry their own synchronization,
+// and the park path is off the hot path by construction.
+type parker struct {
+	mu   sync.Mutex
+	cond sync.Cond
+}
+
+// waitStats counts what the wait ladder did during one stepping session.
+// Each core accumulates its own copy in coreLoop-local state (zero hot
+// path cost: plain adds on stack memory) and the runner folds them after
+// the goroutines join; they surface through Multicore.Aggregate as the
+// Gate*/Pacing* fields of Stats.
+type waitStats struct {
+	gateWaits   int64 // gated memory phases that found a predecessor lagging
+	pacingWaits int64 // cycle starts that found the skew window closed
+	spins       int64 // pure load-spin probes (gate and pacing ladders)
+	yields      int64 // runtime.Gosched yields after the spin budget
+	parks       int64 // park episodes on a notifier
+}
+
+func (w *waitStats) add(o waitStats) {
+	w.gateWaits += o.gateWaits
+	w.pacingWaits += o.pacingWaits
+	w.spins += o.spins
+	w.yields += o.yields
+	w.parks += o.parks
+}
+
+// coreState is one core goroutine's private stepping state: its wait
+// counters, the progress it has not yet published, and its cached view
+// of the other cores' frontiers. Everything here lives on the coreLoop
+// stack — no shared line is touched to read or update it.
+type coreState struct {
+	f waitStats
+
+	// pendingMem/pendingDone are the core's actual progress;
+	// publishedMem/publishedDone what its slot last advertised. The
+	// invariant the liveness argument needs: published == pending
+	// whenever the core is blocked or finished, and a running core
+	// publishes at least every quietPublishStride cycles.
+	pendingMem, publishedMem   int64
+	pendingDone, publishedDone int64
+
+	// Cached frontiers: proven lower bounds on the other cores'
+	// published progress (progress is monotonic, so a recorded minimum
+	// never goes stale). While the bound satisfies a wait's condition
+	// the wait re-checks nothing — zero shared-line touches — and a
+	// re-scan only spins on the first core found lagging, not all N.
+	memLow  int64 // min over j<i of memCycle[j]
+	memHigh int64 // min over j>i of memCycle[j]
+	doneMin int64 // min over j≠i of completed[j]
+}
+
 // parRun is one parallel stepping session: the per-core goroutines, their
 // published progress, and the first error.
 type parRun struct {
@@ -141,17 +280,17 @@ type parRun struct {
 	window int64 // pacing window (-1 = unbounded)
 	gated  bool  // shared memory exists; memory phases take the gate
 
-	// memCycle[i] is the highest cycle whose memory phase core i has
-	// completed; completed[i] the highest cycle it has fully completed.
-	// Both start at startCycle-1 and jump to parDone when the core stops.
-	// The gate state is cross-goroutine: sharedguard pins these fields to
-	// sync/atomic types accessed only through their methods, which is
-	// where the happens-before edges of the gate protocol come from.
-	//
-	//vpr:shared
-	memCycle []atomic.Int64
-	//vpr:shared
-	completed []atomic.Int64
+	// spinBudget is gateSpinProbes, or 0 at GOMAXPROCS=1 where pure
+	// spinning cannot observe progress. eagerDone publishes completed
+	// every cycle: with a window tighter than the publish stride the
+	// pacing barrier needs fresh values, batching them would just
+	// convert every pacing wait into a park.
+	spinBudget int
+	eagerDone  bool
+
+	slots    []gateSlot
+	parkers  []parker
+	counters []waitStats // per-core; written by the owning goroutine, read after wg.Wait
 
 	//vpr:shared
 	stopped atomic.Bool
@@ -168,17 +307,26 @@ type parRun struct {
 //vpr:stepper
 func (m *Multicore) runParallel(ctx context.Context, maxCommitsPerCore int64) error {
 	r := &parRun{
-		m:         m,
-		ctx:       ctx,
-		max:       maxCommitsPerCore,
-		window:    m.step.window,
-		gated:     m.sys != nil,
-		memCycle:  make([]atomic.Int64, len(m.cores)),
-		completed: make([]atomic.Int64, len(m.cores)),
+		m:        m,
+		ctx:      ctx,
+		max:      maxCommitsPerCore,
+		window:   m.step.window,
+		gated:    m.sys != nil,
+		slots:    make([]gateSlot, len(m.cores)),
+		parkers:  make([]parker, len(m.cores)),
+		counters: make([]waitStats, len(m.cores)),
 	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		r.spinBudget = gateSpinProbes
+	}
+	r.eagerDone = r.window >= 0 && r.window < quietPublishStride
 	for i, c := range m.cores {
-		r.memCycle[i].Store(c.cycle - 1)
-		r.completed[i].Store(c.cycle - 1)
+		r.slots[i].memCycle.Store(c.cycle - 1)
+		r.slots[i].completed.Store(c.cycle - 1)
+	}
+	for i := range r.parkers {
+		p := &r.parkers[i]
+		p.cond.L = &p.mu
 	}
 	r.wg.Add(len(m.cores))
 	for i := range m.cores {
@@ -189,11 +337,13 @@ func (m *Multicore) runParallel(ctx context.Context, maxCommitsPerCore int64) er
 		if c.Done() {
 			m.noteDrained(i)
 		}
+		m.parSync.add(r.counters[i])
 	}
 	return r.err
 }
 
-// fail records the first error and stops every core.
+// fail records the first error and stops every core, waking any parked
+// waiter so it can observe the stop.
 //
 //vpr:coldpath
 func (r *parRun) fail(err error) {
@@ -203,16 +353,27 @@ func (r *parRun) fail(err error) {
 	}
 	r.errMu.Unlock()
 	r.stopped.Store(true)
+	for i := range r.parkers {
+		r.wakeParked(i)
+	}
 }
 
 // coreLoop advances one core until its trace drains, its commit cap is
-// reached, or the run stops. The loop allocates nothing; the spin waits
-// yield so progress is guaranteed at any GOMAXPROCS.
+// reached, or the run stops. The loop allocates nothing; the wait ladder
+// spins, yields, then parks, so progress is guaranteed at any GOMAXPROCS
+// while long waits stop burning the host CPU.
 //
 //vpr:hotpath
 func (r *parRun) coreLoop(i int) {
 	defer r.wg.Done()
 	c := r.m.cores[i]
+	cs := coreState{
+		pendingMem: c.cycle - 1, publishedMem: c.cycle - 1,
+		pendingDone: c.cycle - 1, publishedDone: c.cycle - 1,
+		// Frontier caches start pessimistic: the first wait of each kind
+		// does one real scan and tightens them.
+		memLow: math.MinInt64, memHigh: math.MinInt64, doneMin: math.MinInt64,
+	}
 	sinceCheck := 0
 	for {
 		if r.stopped.Load() {
@@ -229,7 +390,7 @@ func (r *parRun) coreLoop(i int) {
 			}
 		}
 		now := c.cycle
-		if !r.waitPacing(now) {
+		if !r.waitPacing(now, i, &cs) {
 			break
 		}
 		if err := c.stepFront(now); err != nil {
@@ -239,11 +400,19 @@ func (r *parRun) coreLoop(i int) {
 		}
 		// The cycle's memory footprint is now fixed: take the gate only
 		// if this cycle can actually reach shared state.
-		if r.gated && !c.memQuiet(now) && !r.waitMemGate(now, i) {
+		quiet := !r.gated || c.memQuiet(now)
+		if !quiet && !r.waitMemGate(now, i, &cs) {
 			break
 		}
 		err := c.stepMem(now)
-		r.memCycle[i].Store(now)
+		cs.pendingMem = now
+		if !quiet {
+			// A gated memory phase publishes immediately: successors are
+			// gate-ordered behind this very value.
+			r.publishMem(i, now, &cs)
+		} else if r.gated && (now-cs.publishedMem >= quietPublishStride || r.slots[i].sleepers.Load() != 0) {
+			r.publishMem(i, now, &cs)
+		}
 		if err != nil {
 			//vpr:allowalloc error path: the failed run allocates once and stops
 			r.fail(fmt.Errorf("pipeline: core %d: %w", i, err))
@@ -254,31 +423,85 @@ func (r *parRun) coreLoop(i int) {
 			r.fail(fmt.Errorf("pipeline: core %d: %w", i, err))
 			break
 		}
-		r.completed[i].Store(now)
+		cs.pendingDone = now
+		if r.eagerDone || now-cs.publishedDone >= quietPublishStride || r.slots[i].sleepers.Load() != 0 {
+			r.publishDone(i, now, &cs)
+		}
 	}
-	// Publish terminal progress so no gate or pacing wait ever blocks on
-	// a finished core.
-	r.memCycle[i].Store(parDone)
-	r.completed[i].Store(parDone)
+	// Publish terminal progress and wake any parker, so no gate or
+	// pacing wait ever blocks on a finished core.
+	r.slots[i].memCycle.Store(parDone)
+	r.slots[i].completed.Store(parDone)
+	r.wakeParked(i)
+	r.counters[i] = cs.f
+}
+
+// publishMem advertises core i's memory-phase progress and wakes its
+// parked waiters, if any. The sleepers check is the publish half of the
+// no-lost-wakeup pair (see park).
+//
+//vpr:hotpath
+func (r *parRun) publishMem(i int, v int64, cs *coreState) {
+	r.slots[i].memCycle.Store(v)
+	cs.publishedMem = v
+	if r.slots[i].sleepers.Load() != 0 {
+		r.wakeParked(i)
+	}
+}
+
+// publishDone advertises core i's completed-cycle progress for the
+// pacing barrier.
+//
+//vpr:hotpath
+func (r *parRun) publishDone(i int, v int64, cs *coreState) {
+	r.slots[i].completed.Store(v)
+	cs.publishedDone = v
+	if r.slots[i].sleepers.Load() != 0 {
+		r.wakeParked(i)
+	}
+}
+
+// flushProgress publishes any pending progress before core i blocks:
+// whoever core i is about to wait for may itself be waiting on core i's
+// withheld stride.
+//
+//vpr:hotpath
+func (r *parRun) flushProgress(i int, cs *coreState) {
+	if r.gated && cs.pendingMem > cs.publishedMem {
+		r.publishMem(i, cs.pendingMem, cs)
+	}
+	if cs.pendingDone > cs.publishedDone {
+		r.publishDone(i, cs.pendingDone, cs)
+	}
 }
 
 // waitPacing blocks the start of cycle now until every live core has
 // completed cycle now-1-window. Returns false if the run stopped.
 //
 //vpr:hotpath
-func (r *parRun) waitPacing(now int64) bool {
+func (r *parRun) waitPacing(now int64, i int, cs *coreState) bool {
 	if r.window < 0 {
 		return true
 	}
 	target := now - 1 - r.window
-	for j := range r.completed {
-		for r.completed[j].Load() < target {
-			if r.stopped.Load() {
-				return false
-			}
-			runtime.Gosched()
+	if cs.doneMin >= target {
+		return true
+	}
+	r.flushProgress(i, cs)
+	low := int64(parDone)
+	for j := range r.slots {
+		if j == i {
+			continue
+		}
+		v, ok := r.awaitSlot(j, target, false, cs)
+		if !ok {
+			return false
+		}
+		if v < low {
+			low = v
 		}
 	}
+	cs.doneMin = low
 	return true
 }
 
@@ -288,21 +511,117 @@ func (r *parRun) waitPacing(now int64) bool {
 // Returns false if the run stopped.
 //
 //vpr:hotpath
-func (r *parRun) waitMemGate(now int64, i int) bool {
-	for j := range r.memCycle {
-		want := now
-		if j == i {
-			continue
+func (r *parRun) waitMemGate(now int64, i int, cs *coreState) bool {
+	if cs.memLow >= now && cs.memHigh >= now-1 {
+		return true
+	}
+	r.flushProgress(i, cs)
+	low, high := int64(parDone), int64(parDone)
+	for j := 0; j < i; j++ {
+		v, ok := r.awaitSlot(j, now, true, cs)
+		if !ok {
+			return false
 		}
-		if j > i {
-			want = now - 1
-		}
-		for r.memCycle[j].Load() < want {
-			if r.stopped.Load() {
-				return false
-			}
-			runtime.Gosched()
+		if v < low {
+			low = v
 		}
 	}
+	for j := i + 1; j < len(r.slots); j++ {
+		v, ok := r.awaitSlot(j, now-1, true, cs)
+		if !ok {
+			return false
+		}
+		if v < high {
+			high = v
+		}
+	}
+	cs.memLow, cs.memHigh = low, high
 	return true
+}
+
+// awaitSlot waits until core j's published progress — memCycle when mem,
+// completed otherwise — reaches want, climbing the spin → yield → park
+// ladder, and returns the value observed. ok is false if the run
+// stopped first.
+//
+//vpr:hotpath
+func (r *parRun) awaitSlot(j int, want int64, mem bool, cs *coreState) (v int64, ok bool) {
+	s := &r.slots[j]
+	if mem {
+		v = s.memCycle.Load()
+	} else {
+		v = s.completed.Load()
+	}
+	if v >= want {
+		return v, true
+	}
+	if mem {
+		cs.f.gateWaits++
+	} else {
+		cs.f.pacingWaits++
+	}
+	spins, yields := 0, 0
+	for {
+		if r.stopped.Load() {
+			return v, false
+		}
+		switch {
+		case spins < r.spinBudget:
+			spins++
+			cs.f.spins++
+		case yields < gateYieldProbes:
+			yields++
+			cs.f.yields++
+			runtime.Gosched()
+		default:
+			cs.f.parks++
+			r.park(j, want, mem)
+			// The park returned satisfied or stopped; re-read and let
+			// the loop decide. A fresh ladder is pointless after a park,
+			// so subsequent laps park straight away.
+		}
+		if mem {
+			v = s.memCycle.Load()
+		} else {
+			v = s.completed.Load()
+		}
+		if v >= want {
+			return v, true
+		}
+	}
+}
+
+// park sleeps on core j's notifier until its published progress reaches
+// want or the run stops. Registration order is the wakeup proof:
+// sleepers is incremented (seq-cst) before the condition is re-checked
+// under the mutex, and the publisher stores progress before loading
+// sleepers — so either the re-check observes the new progress, or the
+// publisher observes the registration and broadcasts under the same
+// mutex. Wait cannot miss that broadcast: it runs with the mutex held.
+func (r *parRun) park(j int, want int64, mem bool) {
+	s := &r.slots[j]
+	p := &r.parkers[j]
+	s.sleepers.Add(1)
+	p.mu.Lock()
+	for !r.stopped.Load() {
+		v := s.completed.Load()
+		if mem {
+			v = s.memCycle.Load()
+		}
+		if v >= want {
+			break
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	s.sleepers.Add(-1)
+}
+
+// wakeParked broadcasts core i's notifier. Holding the mutex across the
+// broadcast closes the re-check→Wait window of any concurrent park.
+func (r *parRun) wakeParked(i int) {
+	p := &r.parkers[i]
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }

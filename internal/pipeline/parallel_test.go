@@ -1,10 +1,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -36,8 +38,11 @@ func randSynthParams(rng *rand.Rand) synth.Params {
 }
 
 // parStepModes are the non-oracle stepping modes every differential case
-// is checked under.
-var parStepModes = []StepMode{StepParallel, StepSkew(1), StepSkew(8), StepSkew(-1)}
+// is checked under. StepSkew(64) matters beyond being the bench default:
+// a window at least quietPublishStride wide is the regime where completed
+// cycles are published in batches, so it pins the batched-publish path
+// the narrow windows never take.
+var parStepModes = []StepMode{StepParallel, StepSkew(1), StepSkew(8), StepSkew(64), StepSkew(-1)}
 
 // mcResult is everything the stepper differential pins: aggregate and
 // per-core architectural statistics plus each core's in-order commit
@@ -386,4 +391,121 @@ func TestMulticoreLiveTracking(t *testing.T) {
 	if c0 >= c1 {
 		t.Errorf("short-trace core stepped to cycle %d, long core %d: drained core kept stepping", c0, c1)
 	}
+}
+
+// TestGateSlotLayout pins the false-sharing fix: a gateSlot is exactly
+// gateSlotBytes (a multiple of any plausible cache-line size), so
+// consecutive slots in the runner's slice can never land on one line,
+// and the hot fields sit in the slot's first bytes — on a single line
+// for the owning core's publishes at any base alignment.
+func TestGateSlotLayout(t *testing.T) {
+	if got := unsafe.Sizeof(gateSlot{}); got != gateSlotBytes {
+		t.Fatalf("gateSlot is %d bytes, want %d", got, gateSlotBytes)
+	}
+	if gateSlotBytes%128 != 0 {
+		t.Fatalf("gateSlotBytes %d is not a multiple of 128", gateSlotBytes)
+	}
+	if off := unsafe.Offsetof(gateSlot{}.sleepers); off+4 > 64 {
+		t.Fatalf("hot gateSlot fields span %d bytes — past one 64-byte line", off+4)
+	}
+}
+
+// TestParallelWaitCounters: the wait-ladder counters surface through
+// Aggregate on parallel runs, stay zero under the lockstep oracle, and —
+// being host-scheduling noise, not architecture — are erased by Arch(),
+// which is what keeps the differential pins meaningful with counters
+// enabled.
+func TestParallelWaitCounters(t *testing.T) {
+	run := func(step StepMode) Stats {
+		cfg := MulticoreConfig{Cores: 2, Core: DefaultConfig(), L2: mem.DefaultL2Config(),
+			SharedAddressSpace: true, Coherence: true, Step: step}
+		cfg.Core.ValueCheck = false
+		p, ok := synth.ByName("sharing")
+		if !ok {
+			t.Fatal("sharing preset missing")
+		}
+		p.Seed = 7
+		mc, err := NewMulticore(cfg, []trace.Generator{
+			trace.Take(synth.New(p), 4000),
+			trace.Take(synth.New(p), 4000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := mc.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	lock := run(StepLockstep)
+	if n := lock.GateWaits + lock.PacingWaits + lock.GateSpins + lock.GateYields + lock.GateParks; n != 0 {
+		t.Errorf("lockstep run recorded %d wait-ladder events, want 0", n)
+	}
+	par := run(StepParallel)
+	if par.GateWaits == 0 {
+		t.Error("parallel run on a sharing workload recorded no gate waits")
+	}
+	if par.PacingWaits == 0 {
+		t.Error("parallel run with a zero-width window recorded no pacing waits")
+	}
+	if par.GateSpins+par.GateYields+par.GateParks == 0 {
+		t.Error("gate waits occurred but no ladder activity was recorded")
+	}
+	arch := par.Arch()
+	if n := arch.GateWaits + arch.PacingWaits + arch.GateSpins + arch.GateYields + arch.GateParks; n != 0 {
+		t.Errorf("Arch() kept %d wait-ladder events, want 0 (they are host noise)", n)
+	}
+	if arch != lock.Arch() {
+		t.Errorf("parallel Arch() diverges from lockstep:\n got  %+v\n want %+v", arch, lock.Arch())
+	}
+}
+
+// TestParkWake exercises the park-rung protocol directly: a parker
+// registered on a slot is woken by the owner's publish, and by fail().
+// The register-then-recheck / publish-then-check pairing must not lose
+// either wakeup.
+func TestParkWake(t *testing.T) {
+	newRun := func() *parRun {
+		r := &parRun{slots: make([]gateSlot, 1), parkers: make([]parker, 1)}
+		r.slots[0].memCycle.Store(-1)
+		r.slots[0].completed.Store(-1)
+		r.parkers[0].cond.L = &r.parkers[0].mu
+		return r
+	}
+	t.Run("publish", func(t *testing.T) {
+		r := newRun()
+		done := make(chan struct{})
+		go func() {
+			r.park(0, 5, true)
+			close(done)
+		}()
+		var cs coreState
+		// Publish progressively; the waiter must survive wakeups that do
+		// not yet satisfy it and return once one does.
+		for v := int64(0); v <= 5; v++ {
+			r.publishMem(0, v, &cs)
+			runtime.Gosched()
+		}
+		<-done
+		if got := r.slots[0].sleepers.Load(); got != 0 {
+			t.Errorf("sleepers %d after wake, want 0", got)
+		}
+	})
+	t.Run("stop", func(t *testing.T) {
+		r := newRun()
+		done := make(chan struct{})
+		go func() {
+			r.park(0, 5, false)
+			close(done)
+		}()
+		for r.slots[0].sleepers.Load() == 0 {
+			runtime.Gosched()
+		}
+		r.fail(context.Canceled)
+		<-done
+		if r.slots[0].completed.Load() >= 5 {
+			t.Error("park returned satisfied, want stopped")
+		}
+	})
 }
