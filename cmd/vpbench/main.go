@@ -92,14 +92,20 @@ type multicorePoint struct {
 	gateCounters
 }
 
-// coherencePoint records the MSI-coherent multicore runner's throughput
-// and invalidation traffic on the sharing-heavy synthetic workload: cores
-// in one address space with the directory on. The CI bench smoke fails if
-// this point is missing or shows no invalidations, and cross-checks the
-// lockstep and parallel variants for identical deterministic fields.
+// coherencePoint records the coherent multicore runner's throughput and
+// invalidation traffic on the sharing-heavy synthetic workload: cores in
+// one address space with the directory on, under the recorded protocol.
+// The CI bench smoke fails if this point is missing, lacks its protocol
+// name, or shows no invalidations, and cross-checks the lockstep and
+// parallel variants for identical deterministic fields.
 type coherencePoint struct {
-	Workload          string  `json:"workload"`
-	Cores             int     `json:"cores"`
+	Workload string `json:"workload"`
+	Cores    int    `json:"cores"`
+	// Protocol is the coherence protocol the point ran under ("msi",
+	// "mesi", "moesi"); Directory the sharer representation ("" =
+	// fullmap).
+	Protocol          string  `json:"protocol"`
+	Directory         string  `json:"directory,omitempty"`
 	Step              string  `json:"step"`
 	GoMaxProcs        int     `json:"go_max_procs"`
 	Instr             int64   `json:"instr"` // committed, aggregate
@@ -110,6 +116,8 @@ type coherencePoint struct {
 	BackInvalidations int64   `json:"l2_back_invalidations"`
 	Upgrades          int64   `json:"l2_upgrades"`
 	WritebackForwards int64   `json:"l2_writeback_forwards"`
+	OwnerForwards     int64   `json:"l2_owner_forwards"`
+	SilentUpgrades    int64   `json:"silent_upgrades"`
 	gateCounters
 }
 
@@ -142,6 +150,12 @@ type report struct {
 	MulticoreParallel multicorePoint `json:"multicore_parallel"`
 	Coherence         coherencePoint `json:"coherence"`
 	CoherenceParallel coherencePoint `json:"coherence_parallel"`
+	// CoherenceMOESI is the lockstep Coherence point rerun under MOESI on
+	// the identical workload: the Owned state converts read-triggered L2
+	// write-back forwards into cache-to-cache owner forwards, so its
+	// l2_writeback_forwards must come in strictly below the MSI twin's
+	// (CI-enforced) — the protocol refactor's measured payoff.
+	CoherenceMOESI coherencePoint `json:"coherence_moesi"`
 	// Sweep reruns the coherence twins with GOMAXPROCS forced to 1 and
 	// to NumCPU (when they differ), so BENCH_pipeline.json always holds
 	// a go_max_procs>1 twin pair and the speedup trend over host
@@ -160,7 +174,9 @@ func main() {
 		issueSel   = flag.String("issue", "", "issue-select heuristic for every run (default oldest-first)")
 		cores      = flag.Int("cores", 2, "core count for the recorded multicore and coherence points")
 		l2Geom     = flag.String("l2", "", "shared L2 geometry for the multicore/coherence points: SIZE[:BANKS], e.g. 256K:4 (default DefaultL2Config)")
-		coh        = flag.Bool("coherence", false, "run the generic multicore point with one shared address space and the MSI directory on (the dedicated coherence point always does)")
+		coh        = flag.Bool("coherence", false, "run the generic multicore point with one shared address space and the coherence directory on (the dedicated coherence points always do)")
+		protoFlag  = flag.String("protocol", "", "coherence protocol for the coherence points: msi (default), mesi, or moesi (the coherence_moesi point always runs moesi)")
+		dirFlag    = flag.String("dir", "", "coherence directory representation for the coherence points: fullmap (default) or limited[:N]")
 		stepFlag   = flag.String("step", "skew:64", "stepping mode for the *_parallel points: parallel or skew:W (the base points always run lockstep)")
 		repeat     = flag.Int("repeat", 1, "repeats per measured point; the best throughput is kept and architectural stats are cross-checked for equality")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -178,6 +194,14 @@ func main() {
 	step, err := vpr.ParseStepMode(*stepFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vpbench: -step: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := vpr.CoherenceProtocolByName(*protoFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "vpbench: -protocol: %v\n", err)
+		os.Exit(1)
+	}
+	if err := vpr.ParseDirectoryKind(*dirFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "vpbench: -dir: %v\n", err)
 		os.Exit(1)
 	}
 	l2 := vpr.DefaultL2Config()
@@ -221,7 +245,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	runErr := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies, *cores, l2, *coh, step, *repeat)
+	runErr := run(*out, *instr, *gridInstr, strings.Split(*wls, ","), policies, *cores, l2, *coh, *protoFlag, *dirFlag, step, *repeat)
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := cpuFile.Close(); err != nil {
@@ -295,7 +319,7 @@ func bestOf(n int, once func() (vpr.Stats, float64, error)) (vpr.Stats, float64,
 // lockstep point and its parallel twin are both honestly recomputed
 // in-process.
 func measureMulticore(wl string, policies vpr.Policies, cores int, l2 vpr.L2Config,
-	coherent bool, instr int64, step vpr.StepMode) (vpr.Stats, float64, error) {
+	coherent bool, proto, dir string, instr int64, step vpr.StepMode) (vpr.Stats, float64, error) {
 	cfg := vpr.DefaultConfig()
 	cfg.Policies = policies
 	names := make([]string, cores)
@@ -311,6 +335,9 @@ func measureMulticore(wl string, policies vpr.Policies, cores int, l2 vpr.L2Conf
 		MaxInstrPerCore:    instr / int64(cores),
 		Step:               step,
 	}
+	if coherent {
+		spec.Protocol, spec.Directory = proto, dir
+	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	res, err := vpr.RunMulticore(spec)
@@ -323,7 +350,7 @@ func measureMulticore(wl string, policies vpr.Policies, cores int, l2 vpr.L2Conf
 }
 
 func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Policies,
-	cores int, l2 vpr.L2Config, coherentMC bool, step vpr.StepMode, repeat int) error {
+	cores int, l2 vpr.L2Config, coherentMC bool, proto, dir string, step vpr.StepMode, repeat int) error {
 	rep := report{
 		Schema:     "vpr-bench/v2",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -376,7 +403,7 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 	mcPoint := func(mode vpr.StepMode) (multicorePoint, error) {
 		wl := workloads[0]
 		st, allocs, err := bestOf(repeat, func() (vpr.Stats, float64, error) {
-			return measureMulticore(wl, policies, cores, l2, coherentMC, instr, mode)
+			return measureMulticore(wl, policies, cores, l2, coherentMC, proto, dir, instr, mode)
 		})
 		if err != nil {
 			return multicorePoint{}, err
@@ -409,18 +436,24 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 		return err
 	}
 
-	// Coherence points: the MSI directory on the sharing-heavy synthetic
-	// workload — cores in one address space writing the same lines, the
-	// cost the coherence experiment pays per point. Always recorded (and
-	// CI-enforced: l2_invalidations must be nonzero, and the parallel
-	// twin's deterministic fields must equal the lockstep point's) so the
-	// invalidation path stays on the perf record; a single core has no
-	// remote sharers to invalidate, so the points run at least two.
-	cohPoint := func(mode vpr.StepMode) (coherencePoint, error) {
+	// Coherence points: the directory protocol on the sharing-heavy
+	// synthetic workload — cores in one address space writing the same
+	// lines, the cost the coherence experiment pays per point. Always
+	// recorded (and CI-enforced: l2_invalidations must be nonzero, the
+	// parallel twin's deterministic fields must equal the lockstep
+	// point's, and the dedicated MOESI point must write back to the L2
+	// strictly less than the default MSI point) so the invalidation path
+	// stays on the perf record; a single core has no remote sharers to
+	// invalidate, so the points run at least two.
+	cohPoint := func(protoSel string, mode vpr.StepMode) (coherencePoint, error) {
 		wl := vpr.SynthWorkloadPrefix + "sharing"
 		cohCores := max(cores, 2)
+		p, err := vpr.CoherenceProtocolByName(protoSel)
+		if err != nil {
+			return coherencePoint{}, err
+		}
 		st, allocs, err := bestOf(repeat, func() (vpr.Stats, float64, error) {
-			return measureMulticore(wl, policies, cohCores, l2, true, instr, mode)
+			return measureMulticore(wl, policies, cohCores, l2, true, protoSel, dir, instr, mode)
 		})
 		if err != nil {
 			return coherencePoint{}, err
@@ -428,6 +461,8 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 		pt := coherencePoint{
 			Workload:          wl,
 			Cores:             cohCores,
+			Protocol:          p.Name(),
+			Directory:         dir,
 			Step:              stepName(mode),
 			GoMaxProcs:        runtime.GOMAXPROCS(0),
 			Instr:             st.Committed,
@@ -438,17 +473,22 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 			BackInvalidations: st.L2BackInvalidations,
 			Upgrades:          st.L2Upgrades,
 			WritebackForwards: st.L2WritebackForwards,
+			OwnerForwards:     st.L2OwnerForwards,
+			SilentUpgrades:    st.SilentUpgrades,
 			gateCounters:      countersOf(st),
 		}
-		fmt.Printf("%-14s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  inval %d\n",
-			fmt.Sprintf("msi×%d %s", cohCores, pt.Step), wl, st.InstrsPerSec, st.CyclesPerSec,
+		fmt.Printf("%-16s %-10s %9.0f instr/s  %9.0f cycles/s  ipc %.3f  %6.3f allocs/instr  inval %d\n",
+			fmt.Sprintf("%s×%d %s", pt.Protocol, cohCores, pt.Step), wl, st.InstrsPerSec, st.CyclesPerSec,
 			st.IPC(), allocs, st.L2Invalidations)
 		return pt, nil
 	}
-	if rep.Coherence, err = cohPoint(vpr.StepLockstep); err != nil {
+	if rep.Coherence, err = cohPoint(proto, vpr.StepLockstep); err != nil {
 		return err
 	}
-	if rep.CoherenceParallel, err = cohPoint(step); err != nil {
+	if rep.CoherenceParallel, err = cohPoint(proto, step); err != nil {
+		return err
+	}
+	if rep.CoherenceMOESI, err = cohPoint("moesi", vpr.StepLockstep); err != nil {
 		return err
 	}
 
@@ -461,12 +501,12 @@ func run(out string, instr, gridInstr int64, workloads []string, policies vpr.Po
 	sweep := []int{1, max(2, runtime.NumCPU())}
 	for _, gmp := range sweep {
 		runtime.GOMAXPROCS(gmp)
-		lock, err := cohPoint(vpr.StepLockstep)
+		lock, err := cohPoint(proto, vpr.StepLockstep)
 		if err != nil {
 			runtime.GOMAXPROCS(prev)
 			return err
 		}
-		par, err := cohPoint(step)
+		par, err := cohPoint(proto, step)
 		if err != nil {
 			runtime.GOMAXPROCS(prev)
 			return err

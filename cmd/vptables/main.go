@@ -62,7 +62,9 @@ func main() {
 		issueSel = flag.String("issue", "", "issue-select heuristic for every run (see the policy list; default oldest-first)")
 		cores    = flag.String("cores", "", "core counts for the multicore/coherence experiments (comma-separated; defaults 1,2,4 and 2,4)")
 		l2       = flag.String("l2", "", "shared L2 geometry for the multicore/coherence experiments: SIZE[:BANKS], e.g. 256K:4 or 1M:8")
-		coh      = flag.Bool("coherence", false, "run the multicore experiment with one shared address space and the MSI directory on")
+		coh      = flag.Bool("coherence", false, "run the multicore experiment with one shared address space and the coherence directory on")
+		proto    = flag.String("protocol", "", "coherence protocol: msi (default), mesi, or moesi — restricts the coherence experiment's sweep and selects the -coherence protocol")
+		dir      = flag.String("dir", "", "coherence directory representation: fullmap (default, exact, ≤64 cores) or limited[:N] (N pointers, broadcast on overflow)")
 		step     = flag.String("step", "", "multicore stepping mode: lockstep (default), parallel, or skew:W — results are identical, only throughput changes")
 	)
 	flag.Usage = usage
@@ -77,6 +79,15 @@ func main() {
 		os.Exit(1)
 	}
 	opts.Step = *step
+	if _, err := vpr.CoherenceProtocolByName(*proto); err != nil {
+		fmt.Fprintf(os.Stderr, "vptables: -protocol: %v\n", err)
+		os.Exit(1)
+	}
+	if err := vpr.ParseDirectoryKind(*dir); err != nil {
+		fmt.Fprintf(os.Stderr, "vptables: -dir: %v\n", err)
+		os.Exit(1)
+	}
+	opts.Protocol, opts.Directory = *proto, *dir
 	if *bench != "" {
 		opts.Workloads = strings.Split(*bench, ",")
 	}
@@ -203,6 +214,14 @@ func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(), "\nissue-select heuristics (-issue, from the policy registry):\n")
 	for _, p := range vpr.IssueSelects() {
 		fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", p.Name, p.Description)
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\ncoherence protocols (-protocol, from the protocol registry):\n")
+	for _, p := range vpr.CoherenceProtocols() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", p.Name(), p.Description())
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\ndirectory representations (-dir, from the directory registry):\n")
+	for _, d := range vpr.DirectoryKinds() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", d.Name, d.Description)
 	}
 }
 

@@ -46,16 +46,17 @@ func smtKey(spec sim.SMTSpec) cacheKey {
 
 // multicoreKey is specKey for multi-core runs: the hash covers the
 // per-core machine configuration, the memory configuration (shared-L2
-// geometry, the address-space mode and the MSI coherence switch) and the
-// stepping mode, so two specs differing only in the memory hierarchy —
-// or in which stepper produced the throughput numbers — never share a
-// cache entry.
+// geometry, the address-space mode, the coherence switch and the
+// protocol/directory selections) and the stepping mode, so two specs
+// differing only in the memory hierarchy — or in which stepper produced
+// the throughput numbers — never share a cache entry.
 //
 //vpr:keyfunc sim.MulticoreSpec
 func multicoreKey(spec sim.MulticoreSpec) cacheKey {
-	return sha256.Sum256([]byte(fmt.Sprintf("mc|%q|%d|%#v|%#v|%v|%v|%q",
+	return sha256.Sum256([]byte(fmt.Sprintf("mc|%q|%d|%#v|%#v|%v|%v|%q|%q|%q",
 		spec.Workloads, spec.MaxInstrPerCore, spec.Config, spec.L2,
-		spec.SharedAddressSpace, spec.Coherence, string(spec.Step))))
+		spec.SharedAddressSpace, spec.Coherence, spec.Protocol,
+		spec.Directory, string(spec.Step))))
 }
 
 // resultCache is a concurrency-safe LRU over completed runs. Values are

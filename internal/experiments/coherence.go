@@ -9,22 +9,26 @@ import (
 	"repro/internal/sim"
 )
 
-// CoherenceRow is one cores × scheme point of the coherence study: the
-// same sharing-heavy workload in one address space with the MSI directory
-// off and on, plus a namespaced control run where no line is ever shared.
+// CoherenceRow is one pattern × cores × scheme × protocol point of the
+// coherence study: the same sharing workload in one address space with
+// the directory off and on, plus a namespaced control run where no line
+// is ever shared.
 type CoherenceRow struct {
 	Workload string
 	Cores    int
 	Scheme   core.Scheme
+	Protocol string // "msi", "mesi", "moesi"
 
 	IPCOff      float64 // shared address space, coherence-free (PR-4 timing)
-	IPCOn       float64 // shared address space, MSI directory active
-	SlowdownPct float64 // how much the invalidation traffic costs
+	IPCOn       float64 // shared address space, directory active
+	SlowdownPct float64 // how much the coherence traffic costs
 
 	Invalidations     int64 // sharing-driven invalidation messages (coherent shared run)
 	BackInvalidations int64 // inclusion: L2 victims invalidated out of sharer L1s
-	Upgrades          int64 // store S→M ownership requests
-	WritebackForwards int64 // dirty remote lines forwarded through a bank
+	Upgrades          int64 // store S→M ownership requests through the directory
+	WritebackForwards int64 // dirty remote lines forwarded through a bank into the L2
+	OwnerForwards     int64 // MOESI: dirty lines forwarded cache-to-cache, kept Owned
+	SilentUpgrades    int64 // MESI/MOESI: E→M stores with zero directory traffic
 
 	NamespacedInvalidations int64 // control: coherent but namespaced — always 0
 }
@@ -32,10 +36,18 @@ type CoherenceRow struct {
 // coherenceDefaultCores is the sweep the registry experiment defaults to.
 var coherenceDefaultCores = []int{2, 4}
 
-// coherenceDefaultWorkload is the sharing-heavy synthetic preset: cores
-// run identical store-heavy streams over one small resident set, so in a
-// shared address space the directory ping-pongs ownership between them.
-const coherenceDefaultWorkload = sim.SynthWorkloadPrefix + "sharing"
+// coherenceDefaultWorkloads is the pattern axis of the grid: the classic
+// store-heavy sharing stress plus the three named sharing patterns, each
+// built to reward (or defeat) a different protocol feature.
+var coherenceDefaultWorkloads = []string{
+	sim.SynthWorkloadPrefix + "sharing",
+	sim.SynthWorkloadPrefix + "producer-consumer",
+	sim.SynthWorkloadPrefix + "migratory",
+	sim.SynthWorkloadPrefix + "false-sharing",
+}
+
+// coherenceProtocols is the protocol axis of the grid.
+var coherenceProtocols = []string{"msi", "mesi", "moesi"}
 
 // coherenceSchemes compares the paper's baseline against its headline
 // scheme under coherence traffic.
@@ -53,21 +65,21 @@ func checkMulticoreWorkloads(names []string) error {
 	return nil
 }
 
-// withCoherenceDefaults applies the sharing preset when the caller did
-// not restrict the workload set.
+// withCoherenceDefaults applies the pattern grid when the caller did not
+// restrict the workload set.
 func withCoherenceDefaults(opts Options) Options {
 	if len(opts.Workloads) == 0 {
-		opts.Workloads = []string{coherenceDefaultWorkload}
+		opts.Workloads = coherenceDefaultWorkloads
 	}
 	return opts
 }
 
-// coherencePlan sweeps cores × scheme, and per point runs the workload
-// three ways: shared address space with coherence off (the PR-4 timing),
-// shared with the MSI directory on, and namespaced with the directory on
-// (the control that must show zero invalidations). The per-core
-// instruction budget divides the option's budget, as in the multicore
-// experiment.
+// coherencePlan sweeps pattern × cores × scheme, and per point runs the
+// workload shared-coherence-free once (the PR-4 timing, protocol-
+// independent), then shared under each registered protocol, then
+// namespaced with the directory on (the control that must show zero
+// sharing invalidations). The per-core instruction budget divides the
+// option's budget, as in the multicore experiment.
 func coherencePlan(opts Options) (Plan, error) {
 	if err := checkMulticoreWorkloads(opts.Workloads); err != nil {
 		return Plan{}, err
@@ -84,49 +96,71 @@ func coherencePlan(opts Options) (Plan, error) {
 	if _, err := opts.stepMode(); err != nil {
 		return Plan{}, err
 	}
+	if err := opts.checkCoherenceSelections(); err != nil {
+		return Plan{}, err
+	}
+	protocols := coherenceProtocols
+	if opts.Protocol != "" {
+		protocols = []string{opts.Protocol}
+	}
 	l2 := opts.l2Config()
 	names := opts.Workloads
-	point := func(name string, scheme core.Scheme, cores int, shared, coherent bool) sim.MulticoreSpec {
+	point := func(name string, scheme core.Scheme, cores int, shared, coherent bool, proto string) sim.MulticoreSpec {
 		spec := multicorePointSpec(name, scheme, cores, l2, opts)
 		spec.SharedAddressSpace = shared
 		spec.Coherence = coherent
+		spec.Protocol = proto
+		if coherent {
+			spec.Directory = opts.Directory
+		} else {
+			spec.Directory = ""
+		}
 		return spec
 	}
 	var specs []sim.MulticoreSpec
 	for _, name := range names {
 		for _, n := range coreCounts {
 			for _, scheme := range coherenceSchemes {
-				specs = append(specs,
-					point(name, scheme, n, true, false),
-					point(name, scheme, n, true, true),
-					point(name, scheme, n, false, true))
+				specs = append(specs, point(name, scheme, n, true, false, ""))
+				for _, proto := range protocols {
+					specs = append(specs, point(name, scheme, n, true, true, proto))
+				}
+				specs = append(specs, point(name, scheme, n, false, true, ""))
 			}
 		}
 	}
+	perPoint := 2 + len(protocols)
 	reduce := func(_ []sim.Result, _ []sim.SMTResult, mc []sim.MulticoreResult) (any, error) {
 		var rows []CoherenceRow
 		k := 0
 		for _, name := range names {
 			for _, n := range coreCounts {
 				for _, scheme := range coherenceSchemes {
-					off, on, ns := mc[k], mc[k+1], mc[k+2]
-					k += 3
-					row := CoherenceRow{
-						Workload:                name,
-						Cores:                   n,
-						Scheme:                  scheme,
-						IPCOff:                  off.Stats.IPC(),
-						IPCOn:                   on.Stats.IPC(),
-						SlowdownPct:             -improvementPct(off.Stats.IPC(), on.Stats.IPC()),
-						Invalidations:           on.Stats.L2Invalidations,
-						BackInvalidations:       on.Stats.L2BackInvalidations,
-						Upgrades:                on.Stats.L2Upgrades,
-						WritebackForwards:       on.Stats.L2WritebackForwards,
-						NamespacedInvalidations: ns.Stats.L2Invalidations,
+					off := mc[k]
+					ns := mc[k+perPoint-1]
+					for i, proto := range protocols {
+						on := mc[k+1+i]
+						row := CoherenceRow{
+							Workload:                name,
+							Cores:                   n,
+							Scheme:                  scheme,
+							Protocol:                proto,
+							IPCOff:                  off.Stats.IPC(),
+							IPCOn:                   on.Stats.IPC(),
+							SlowdownPct:             -improvementPct(off.Stats.IPC(), on.Stats.IPC()),
+							Invalidations:           on.Stats.L2Invalidations,
+							BackInvalidations:       on.Stats.L2BackInvalidations,
+							Upgrades:                on.Stats.L2Upgrades,
+							WritebackForwards:       on.Stats.L2WritebackForwards,
+							OwnerForwards:           on.Stats.L2OwnerForwards,
+							SilentUpgrades:          on.Stats.SilentUpgrades,
+							NamespacedInvalidations: ns.Stats.L2Invalidations,
+						}
+						rows = append(rows, row)
+						opts.progress("coherence %-18s cores=%d %-8s %-5s off %.3f on %.3f (%.1f%% slower) inval %d",
+							name, n, scheme, proto, row.IPCOff, row.IPCOn, row.SlowdownPct, row.Invalidations)
 					}
-					rows = append(rows, row)
-					opts.progress("coherence %-14s cores=%d %-8s off %.3f on %.3f (%.1f%% slower) inval %d",
-						name, n, scheme, row.IPCOff, row.IPCOn, row.SlowdownPct, row.Invalidations)
+					k += perPoint
 				}
 			}
 		}
@@ -148,25 +182,28 @@ func RunCoherenceStudy(coreCounts []int, opts Options) ([]CoherenceRow, error) {
 }
 
 // RenderCoherence formats the coherence study: aggregate IPC with the
-// directory off and on, the slowdown the invalidation traffic costs, and
-// the raw MSI transition counts next to the namespaced control.
+// directory off and on, the slowdown the coherence traffic costs, and the
+// raw transition counts next to the namespaced control.
 func RenderCoherence(rows []CoherenceRow) string {
 	var tb metrics.Table
-	tb.AddRow("bench", "cores", "scheme", "IPC coh-off", "IPC coh-on", "slow(%)",
-		"inval", "back-inv", "upgrades", "wb-fwd", "ns-inval")
+	tb.AddRow("bench", "cores", "scheme", "proto", "IPC coh-off", "IPC coh-on", "slow(%)",
+		"inval", "back-inv", "upgrades", "wb-fwd", "own-fwd", "silent", "ns-inval")
 	for _, r := range rows {
-		tb.AddRow(r.Workload, fmt.Sprintf("%d", r.Cores), r.Scheme.String(),
+		tb.AddRow(r.Workload, fmt.Sprintf("%d", r.Cores), r.Scheme.String(), r.Protocol,
 			fmt.Sprintf("%.2f", r.IPCOff), fmt.Sprintf("%.2f", r.IPCOn),
 			fmt.Sprintf("%.1f", r.SlowdownPct),
 			fmt.Sprintf("%d", r.Invalidations), fmt.Sprintf("%d", r.BackInvalidations),
 			fmt.Sprintf("%d", r.Upgrades),
-			fmt.Sprintf("%d", r.WritebackForwards), fmt.Sprintf("%d", r.NamespacedInvalidations))
+			fmt.Sprintf("%d", r.WritebackForwards), fmt.Sprintf("%d", r.OwnerForwards),
+			fmt.Sprintf("%d", r.SilentUpgrades), fmt.Sprintf("%d", r.NamespacedInvalidations))
 	}
 	var b strings.Builder
 	b.WriteString(tb.String())
-	b.WriteString("cores share one address space and run identical store-heavy streams; coh-on adds the\n")
-	b.WriteString("MSI directory (store upgrades invalidate remote L1 copies, dirty lines forward over\n")
-	b.WriteString("the bank bus; back-inv counts inclusion victims of L2 evictions). ns-inval is the\n")
-	b.WriteString("namespaced control: no line is ever shared, so sharing-driven invalidations are zero.\n")
+	b.WriteString("cores share one address space and run identical streams per pattern; coh-on adds the\n")
+	b.WriteString("named directory protocol (store upgrades invalidate remote L1 copies; dirty lines\n")
+	b.WriteString("forward over the bank bus — into the L2 under MSI/MESI (wb-fwd), cache-to-cache under\n")
+	b.WriteString("MOESI (own-fwd); silent counts MESI/MOESI E→M upgrades with zero directory traffic;\n")
+	b.WriteString("back-inv counts inclusion victims of L2 evictions). ns-inval is the namespaced\n")
+	b.WriteString("control: no line is ever shared, so sharing-driven invalidations are zero.\n")
 	return b.String()
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -48,10 +49,20 @@ type Options struct {
 	L2SizeBytes int
 	L2Banks     int
 	// Coherence runs the multicore experiment's points in one shared
-	// address space with the MSI directory enabled (the CLI -coherence
+	// address space with the directory enabled (the CLI -coherence
 	// flag). The coherence experiment ignores it — it sweeps the
 	// directory on and off by construction.
 	Coherence bool
+	// Protocol names the coherence protocol ("msi", "mesi", "moesi";
+	// the CLI -protocol flag). The coherence experiment restricts its
+	// protocol sweep to the selection; the multicore experiment applies
+	// it to its coherent points (and ignores it without Coherence).
+	// Empty sweeps all registered protocols / selects msi.
+	Protocol string
+	// Directory names the sharer representation for every coherent
+	// point ("fullmap", "limited[:N]"; the CLI -dir flag). Empty is the
+	// exact full-map bitmask; limited pointers lift its 64-core cap.
+	Directory string
 	// Step selects the multicore stepping strategy for the multicore and
 	// coherence experiments ("lockstep", "parallel", "skew:W"; the CLI
 	// -step flag). Results are bit-identical across modes — only host
@@ -62,6 +73,18 @@ type Options struct {
 // stepMode validates and returns the option's stepping mode.
 func (o Options) stepMode() (pipeline.StepMode, error) {
 	return pipeline.ParseStepMode(o.Step)
+}
+
+// checkCoherenceSelections validates the option's protocol and directory
+// names against the mem registries, so plan building fails fast.
+func (o Options) checkCoherenceSelections() error {
+	if _, err := mem.ProtocolByName(o.Protocol); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	if err := mem.ParseDirectoryKind(o.Directory); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
 }
 
 func (o Options) workloads() []string {

@@ -63,6 +63,9 @@ func multicorePlan(opts Options) (Plan, error) {
 	if _, err := opts.stepMode(); err != nil {
 		return Plan{}, err
 	}
+	if err := opts.checkCoherenceSelections(); err != nil {
+		return Plan{}, err
+	}
 	l2 := opts.l2Config()
 	names := opts.workloads() // may include "synth:" presets, as in MulticoreSpec
 	var specs []sim.MulticoreSpec
@@ -105,7 +108,7 @@ func multicorePointSpec(name string, scheme core.Scheme, cores int, l2 mem.L2Con
 		names[i] = name
 	}
 	step, _ := opts.stepMode() // plan builders validate the mode up front
-	return sim.MulticoreSpec{
+	spec := sim.MulticoreSpec{
 		Workloads:          names,
 		Config:             baseConfig(scheme, 64, 32),
 		L2:                 l2,
@@ -114,6 +117,11 @@ func multicorePointSpec(name string, scheme core.Scheme, cores int, l2 mem.L2Con
 		MaxInstrPerCore:    opts.instr() / int64(cores),
 		Step:               step,
 	}
+	if opts.Coherence {
+		spec.Protocol = opts.Protocol
+		spec.Directory = opts.Directory
+	}
+	return spec
 }
 
 // RunMulticoreStudy executes the multi-core scaling study on a fresh

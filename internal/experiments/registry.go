@@ -184,8 +184,8 @@ var registry = []Experiment{
 	},
 	{
 		Name:       "coherence",
-		Title:      "MSI coherence cost over the banked shared L2",
-		Reproduces: "repository study: cores × scheme × coherence on/off on a sharing-heavy synthetic workload, with a namespaced zero-invalidation control (ROADMAP's coherence axis)",
+		Title:      "coherence protocol cost over the banked shared L2",
+		Reproduces: "repository study: sharing pattern × cores × scheme × protocol (MSI/MESI/MOESI) with coherence on/off and a namespaced zero-invalidation control (ROADMAP's coherence axis)",
 		Build:      func(opts Options) (Plan, error) { return coherencePlan(withCoherenceDefaults(opts)) },
 		Render:     func(v any) string { return RenderCoherence(v.([]CoherenceRow)) },
 	},

@@ -60,6 +60,17 @@ type Port interface {
 	Len() int
 }
 
+// Keyless puts the key-renderer directive on a struct instead of its
+// renderer function.
+//
+//vpr:keyfunc Keyless // want `//vpr:keyfunc is misplaced on a struct type declaration — it belongs on a function declaration`
+type Keyless struct{ N int }
+
+// waived puts the field-only observer waiver on a function.
+//
+//vpr:nocachekey pure observer // want `//vpr:nocachekey is misplaced on a function declaration — it belongs on a struct field`
+func waived() {}
+
 // use keeps the declarations referenced.
 func use() {
 	hot()
@@ -67,5 +78,7 @@ func use() {
 	misplacedStats()
 	noArg()
 	chatty()
+	waived()
 	_ = S{N: answer}
+	_ = Keyless{N: 1}
 }

@@ -54,3 +54,24 @@ type Clean struct {
 	N int
 	S string
 }
+
+// MCSpec mirrors the multicore spec shape: string *selection* fields
+// (protocol, directory kind) that switch behavior and must reach the
+// key, or two runs differing only in a selection would share a cached
+// result. The renderer below covers Protocol but forgets Directory —
+// exactly the regression mode of growing the spec without growing the
+// key.
+//
+//vpr:cachekey
+type MCSpec struct {
+	Workload  string
+	Protocol  string
+	Directory string // want `cache-key field fixture.MCSpec.Directory is not rendered by any //vpr:keyfunc key function`
+}
+
+// MCKey is MCSpec's canonical renderer — it forgets Directory.
+//
+//vpr:keyfunc MCSpec
+func MCKey(s MCSpec) string {
+	return s.Workload + "|" + s.Protocol
+}

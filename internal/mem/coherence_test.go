@@ -7,7 +7,7 @@ import "testing"
 // transition counts.
 func coherentPair(t *testing.T, l2 L2Config) *System {
 	t.Helper()
-	sys, err := NewSystem(l1cfg(), l2, 2, true, true)
+	sys, err := NewSystem(l1cfg(), l2, 2, true, CoherenceConfig{Enabled: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestMergeIntoEvictedLineRevivesTag(t *testing.T) {
 // zero invalidation traffic — the control the coherence experiment
 // renders next to the sharing runs.
 func TestNamespacedCoherenceSendsNoInvalidations(t *testing.T) {
-	sys, err := NewSystem(l1cfg(), smallL2(), 2, false, true)
+	sys, err := NewSystem(l1cfg(), smallL2(), 2, false, CoherenceConfig{Enabled: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,10 +242,10 @@ func TestNamespacedCoherenceSendsNoInvalidations(t *testing.T) {
 
 // TestCoherenceRejectsTooManyCores: the sharer bitmask tracks 64 ports.
 func TestCoherenceRejectsTooManyCores(t *testing.T) {
-	if _, err := NewSystem(l1cfg(), DefaultL2Config(), 65, true, true); err == nil {
+	if _, err := NewSystem(l1cfg(), DefaultL2Config(), 65, true, CoherenceConfig{Enabled: true}); err == nil {
 		t.Fatal("coherent systems beyond 64 cores must be rejected")
 	}
-	if _, err := NewSystem(l1cfg(), DefaultL2Config(), 65, true, false); err != nil {
+	if _, err := NewSystem(l1cfg(), DefaultL2Config(), 65, true, CoherenceConfig{}); err != nil {
 		t.Fatalf("non-coherent systems have no core limit: %v", err)
 	}
 }

@@ -1,0 +1,145 @@
+package conftest
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzDirectoryTransitions drives the full-map and limited-pointer
+// directories through the same decoded operation sequence and holds the
+// limited one to its contract: conservative-superset sharer knowledge
+// (it may over-report, never under-report), identical owner tracking,
+// ascending visit order, and a pointer budget that is respected whenever
+// a set has not degraded to broadcast.
+//
+// Each input byte pair decodes to one operation: the first byte selects
+// the op, the second packs (set, core) as (b>>4)%sets and b%cores.
+func FuzzDirectoryTransitions(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0x00, 0, 0x01, 0, 0x02, 0, 0x03, 2, 0x01}) // fill one set past 2 pointers, then set an owner
+	f.Add([]byte{0, 0x00, 1, 0x00, 0, 0x10, 1, 0x10})          // add/remove ping-pong on two sets
+	f.Add([]byte{0, 0x05, 0, 0x06, 0, 0x07, 4, 0x00, 0, 0x05}) // overflow, clear, re-add: precision restored
+	f.Add([]byte{2, 0x04, 3, 0x00, 2, 0x09, 0, 0x09, 1, 0x09})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const (
+			sets  = 4
+			cores = 16
+			slots = 2
+		)
+		full, err := mem.NewDirectory("fullmap", sets, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim, err := mem.NewDirectory("limited:2", sets, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			set := int(ops[i+1]>>4) % sets
+			core := int(ops[i+1]) % cores
+			switch ops[i] % 5 {
+			case 0:
+				full.AddSharer(set, core)
+				lim.AddSharer(set, core)
+			case 1:
+				full.RemoveSharer(set, core)
+				lim.RemoveSharer(set, core)
+			case 2:
+				full.SetOwner(set, core)
+				lim.SetOwner(set, core)
+			case 3:
+				full.ClearOwner(set)
+				lim.ClearOwner(set)
+			case 4:
+				full.Clear(set)
+				lim.Clear(set)
+			}
+		}
+		for set := 0; set < sets; set++ {
+			if fo, lo := full.Owner(set), lim.Owner(set); fo != lo {
+				t.Fatalf("set %d: owners diverge (fullmap %d, limited %d)", set, fo, lo)
+			}
+			exact := visit(t, full, set)
+			cons := visit(t, lim, set)
+			inCons := make(map[int]bool, len(cons))
+			for _, c := range cons {
+				inCons[c] = true
+			}
+			for _, c := range exact {
+				if !inCons[c] {
+					t.Fatalf("set %d: limited directory lost sharer %d (exact %v, conservative %v)",
+						set, c, exact, cons)
+				}
+				if !lim.OtherSharers(set, (c+1)%cores) {
+					t.Fatalf("set %d: OtherSharers misses recorded sharer %d", set, c)
+				}
+			}
+			if len(cons) > slots && len(cons) != cores {
+				t.Fatalf("set %d: %d sharers visited — over the %d-pointer budget yet not a broadcast",
+					set, len(cons), slots)
+			}
+		}
+	})
+}
+
+// visit collects one set's AppendSharers output and fails on any
+// violation of the ascending-order determinism contract.
+func visit(t *testing.T, d mem.Directory, set int) []int {
+	t.Helper()
+	sharers, _ := d.AppendSharers(set, -1, nil)
+	out := make([]int, 0, len(sharers))
+	for _, core := range sharers {
+		if n := len(out); n > 0 && out[n-1] >= int(core) {
+			t.Fatalf("AppendSharers listed core %d after %d — descending order breaks determinism", core, out[n-1])
+		}
+		out = append(out, int(core))
+	}
+	return out
+}
+
+// FuzzProtocolInterleaving decodes an arbitrary byte string into a
+// cross-core access interleaving and replays it under every registered
+// protocol with the conformance Checker attached: whatever the
+// interleaving, no protocol may perform an undeclared transition or
+// break the single-writer/no-stale-read invariants.
+//
+// Each byte is one access: bit 7 = store, bits 0–1 = core, bits 2–6 =
+// line within a 32-line pool sized to thrash the tiny hierarchy.
+func FuzzProtocolInterleaving(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x04, 0x05, 0x84, 0x06, 0x04}) // read-share then steal ownership
+	f.Add([]byte{0x80, 0x81, 0x82, 0x83})       // four cores fight over line 0
+	f.Add([]byte{0x84, 0x04, 0x05, 0x06, 0x07}) // dirty line served to three readers
+	seq := make([]byte, 64)
+	for i := range seq {
+		seq[i] = byte(i*37 + 11)
+	}
+	f.Add(seq)
+	f.Fuzz(func(t *testing.T, accs []byte) {
+		if len(accs) > 4096 {
+			accs = accs[:4096]
+		}
+		l1 := tinyL1()
+		l1.SizeBytes = 512 // 16 frames: replacements arrive fast
+		l2 := tinyL2()
+		l2.SizeBytes = 1024 // 32 lines: recalls arrive fast
+		for _, p := range mem.Protocols() {
+			sys, ck := newCheckedSystem(t, p, "limited:2", 4, l1, l2)
+			now := int64(0)
+			for _, b := range accs {
+				now += 2
+				core := int(b & 3)
+				line := uint64(1 + (b>>2)&31)
+				sys.Port(core).Access(now, line*32, b&0x80 != 0)
+			}
+			now += 1000
+			for core := 0; core < sys.Cores(); core++ {
+				sys.Port(core).Drain(now)
+			}
+			for _, e := range ck.Errs {
+				t.Errorf("%s: %s", p.Name(), e)
+			}
+		}
+	})
+}

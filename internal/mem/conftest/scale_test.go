@@ -1,0 +1,186 @@
+package conftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// drainAll settles every port at a cycle past all in-flight refills.
+func drainAll(sys *mem.System, now int64) {
+	for core := 0; core < sys.Cores(); core++ {
+		sys.Port(core).Drain(now)
+	}
+}
+
+// TestLimitedOverflowBroadcastInvalidation walks the pointer-exhaustion
+// script deterministically: three readers over a 2-pointer set overflow
+// it (the third sharer is known only as "many"), and the subsequent
+// ownership claim must degrade to a broadcast that still reaches every
+// copy — including the one the pointers could not record.
+func TestLimitedOverflowBroadcastInvalidation(t *testing.T) {
+	proto, _ := mem.ProtocolByName("msi")
+	sys, ck := newCheckedSystem(t, proto, "limited:2", 4, tinyL1(), tinyL2())
+	const line = uint64(0x40)
+	now := int64(0)
+	for core := 0; core < 3; core++ {
+		out, ok := sys.Port(core).Access(now, line*32, false)
+		if !ok {
+			t.Fatal("unexpected MSHR stall")
+		}
+		now = out.ReadyAt + 1
+	}
+	drainAll(sys, now)
+	st := sys.Stats()
+	if st.L2DirOverflows != 1 {
+		t.Fatalf("third sharer over 2 pointers must overflow the set once, counted %d", st.L2DirOverflows)
+	}
+	if st.L2DirBroadcasts != 0 {
+		t.Fatalf("no invalidation round ran yet, counted %d broadcasts", st.L2DirBroadcasts)
+	}
+
+	out, ok := sys.Port(3).Access(now, line*32, true)
+	if !ok {
+		t.Fatal("unexpected MSHR stall")
+	}
+	now = out.ReadyAt + 1
+	drainAll(sys, now)
+	st = sys.Stats()
+	if st.L2DirBroadcasts != 1 {
+		t.Fatalf("the ownership claim on an overflowed set must broadcast, counted %d", st.L2DirBroadcasts)
+	}
+	// The broadcast visits cores 0..2 (all but the writer); each held a
+	// copy, so each invalidation finds a line to kill.
+	if st.L2Invalidations != 3 {
+		t.Fatalf("broadcast must invalidate all 3 readers, counted %d", st.L2Invalidations)
+	}
+	for core := 0; core < 3; core++ {
+		if got := ck.State(core, line); got != mem.Invalid {
+			t.Errorf("core %d still shadows %v after the broadcast", core, got)
+		}
+		if sys.Port(core).Probe(line * 32) {
+			t.Errorf("core %d still answers hits on the claimed line", core)
+		}
+	}
+	if got := ck.State(3, line); got != mem.Modified {
+		t.Errorf("writer shadows %v, want M", got)
+	}
+	for _, e := range ck.Errs {
+		t.Error(e)
+	}
+}
+
+// TestLimitedOverflowInclusionHolds evicts an overflowed set's line from
+// the L2 and requires the back-invalidation round to recall every copy —
+// inclusion may not leak through lost pointer precision.
+func TestLimitedOverflowInclusionHolds(t *testing.T) {
+	proto, _ := mem.ProtocolByName("msi")
+	l2 := tinyL2()
+	l2.Banks = 1 // 64 direct-mapped lines: line and line+64 share a set
+	sys, ck := newCheckedSystem(t, proto, "limited:2", 4, tinyL1(), l2)
+	const line = uint64(0x10)
+	now := int64(0)
+	for core := 0; core < 4; core++ {
+		out, ok := sys.Port(core).Access(now, line*32, false)
+		if !ok {
+			t.Fatal("unexpected MSHR stall")
+		}
+		now = out.ReadyAt + 1
+	}
+	drainAll(sys, now)
+	if st := sys.Stats(); st.L2DirOverflows != 1 {
+		t.Fatalf("four sharers over 2 pointers must overflow, counted %d", st.L2DirOverflows)
+	}
+
+	// A different line mapping to the same L2 set evicts the shared one.
+	out, ok := sys.Port(0).Access(now, (line+64)*32, false)
+	if !ok {
+		t.Fatal("unexpected MSHR stall")
+	}
+	now = out.ReadyAt + 1
+	drainAll(sys, now)
+	st := sys.Stats()
+	if st.L2BackInvalidations != 4 {
+		t.Fatalf("the recall must reach all 4 sharers (broadcast), counted %d", st.L2BackInvalidations)
+	}
+	if st.L2DirBroadcasts == 0 {
+		t.Fatal("an overflowed set's recall must be a broadcast round")
+	}
+	for core := 0; core < 4; core++ {
+		if sys.Port(core).Probe(line * 32) {
+			t.Errorf("core %d still holds the recalled line — inclusion leaked", core)
+		}
+	}
+	for _, e := range ck.Errs {
+		t.Error(e)
+	}
+}
+
+// TestLimitedPointerScalesPast64Cores is the cap-lifting acceptance test:
+// a 72-core coherent run over the limited-pointer directory — where the
+// full map refuses to build — completes a contended random workload with
+// zero conformance violations and demonstrably overflows its pointers.
+func TestLimitedPointerScalesPast64Cores(t *testing.T) {
+	const cores = 72
+	if _, err := mem.NewSystem(tinyL1(), tinyL2(), cores, true,
+		mem.CoherenceConfig{Enabled: true, Directory: "fullmap"}); err == nil {
+		t.Fatal("the full map must refuse 72 cores")
+	}
+	for _, proto := range mem.Protocols() {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			l2 := mem.DefaultL2Config()
+			l2.SizeBytes = 16 * 1024 // 512 lines: big enough to share, small enough to recall
+			sys, ck := newCheckedSystem(t, proto, "limited:4", cores, tinyL1(), l2)
+			runRandom(sys, rand.New(rand.NewSource(9)), 800, 256, 0.2)
+			for _, e := range ck.Errs {
+				t.Error(e)
+			}
+			st := sys.Stats()
+			if st.L2DirOverflows == 0 || st.L2DirBroadcasts == 0 {
+				t.Errorf("72 contending cores never exhausted 4 pointers (overflows %d, broadcasts %d)",
+					st.L2DirOverflows, st.L2DirBroadcasts)
+			}
+			if st.L2Invalidations == 0 {
+				t.Error("contended run produced no invalidations")
+			}
+		})
+	}
+}
+
+// TestNamespacedManyCoresNoSharingTraffic runs 80 namespaced cores —
+// disjoint address spaces over one shared L2 — under the limited-pointer
+// directory: every line ever has exactly one sharer, so no pointer can
+// overflow and no sharing invalidation may be sent, at any scale.
+func TestNamespacedManyCoresNoSharingTraffic(t *testing.T) {
+	const cores = 80
+	proto, _ := mem.ProtocolByName("mesi")
+	ck := NewChecker(proto)
+	sys, err := mem.NewSystem(tinyL1(), mem.DefaultL2Config(), cores, false,
+		mem.CoherenceConfig{Enabled: true, Protocol: "mesi", Directory: "limited", Tracer: ck.Tracer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRandom(sys, rand.New(rand.NewSource(3)), 600, 128, 0.3)
+	for _, e := range ck.Errs {
+		t.Error(e)
+	}
+	st := sys.Stats()
+	// Recalls of a core's own dirty lines still ride the write-back-
+	// forward counter; invalidations and owner-forwards are sharing-only.
+	if st.L2Invalidations != 0 || st.L2OwnerForwards != 0 {
+		t.Errorf("namespaced cores can never share a line: inv=%d own=%d",
+			st.L2Invalidations, st.L2OwnerForwards)
+	}
+	if st.L2DirOverflows != 0 || st.L2DirBroadcasts != 0 {
+		t.Errorf("single-sharer sets cannot overflow: overflows=%d broadcasts=%d",
+			st.L2DirOverflows, st.L2DirBroadcasts)
+	}
+	// Namespaced MESI cores are always sole readers: Shared is never
+	// granted and every write upgrade is silent.
+	if ck.Grants[mem.Shared] != 0 && st.SilentUpgrades == 0 {
+		t.Errorf("namespaced MESI must live off Exclusive grants (S grants %d, silent upgrades %d)",
+			ck.Grants[mem.Shared], st.SilentUpgrades)
+	}
+}

@@ -50,6 +50,10 @@ type line struct {
 	valid bool
 	dirty bool
 	tag   uint64
+
+	// st is the line's coherence state under the active protocol; unused
+	// (Invalid) without coherence. In coherent mode dirty == st.Dirty().
+	st State
 }
 
 type mshr struct {
@@ -58,7 +62,12 @@ type mshr struct {
 	readyAt   int64
 	markDirty bool // a write merged into the pending refill
 
-	// invalidated marks a refill whose line was invalidated by the MSI
+	// state is the coherence state the refill was granted (and will
+	// install with); unused (Invalid) without coherence. In coherent
+	// mode markDirty == state.Dirty().
+	state State
+
+	// invalidated marks a refill whose line was invalidated by the
 	// directory while still in flight: the data returns to the requester
 	// (the outcome's ReadyAt stands) but the line never installs, and
 	// later accesses must fetch it again. Never set without coherence.
@@ -75,7 +84,7 @@ type mshr struct {
 //
 // An L1 is written by two parties: its own core (Access/Drain, only from
 // the execute stage) and — under coherence — remote cores, whose gated
-// memory phases reach it through invalidateLine/downgradeLine. The
+// memory phases reach it through invalidateLine/remoteRead. The
 // parallel stepper (pipeline/parallel.go) serializes all such phases in
 // global (cycle, core-index) order, so the two parties never run
 // concurrently and l.now never observes time running backwards.
@@ -91,6 +100,7 @@ type L1 struct {
 	busFreeAt int64
 	lineShift uint
 	now       int64
+	tr        *CohTracer
 
 	st Stats
 }
@@ -136,9 +146,16 @@ func (l *L1) drain(now int64) {
 		if m.busy && m.readyAt <= now {
 			if !m.invalidated {
 				ln := &l.lines[l.index(m.lineAddr)]
+				if ln.valid && l.tr != nil {
+					// The install replaces whatever clean (or, in the
+					// inherited stale-window artifact, re-dirtied) copy
+					// occupied the frame.
+					l.traceState(ln.tag, ln.st, Invalid, EvReplace)
+				}
 				ln.valid = true
 				ln.tag = m.lineAddr
 				ln.dirty = m.markDirty
+				ln.st = m.state
 			}
 			m.busy = false
 			m.invalidated = false
@@ -172,15 +189,26 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 		l.st.Hits++
 		ready := now + int64(l.cfg.HitLatency)
 		if write {
-			// A store to a clean copy of a coherent line is the MSI
-			// S→M transition: ask the directory for ownership (which
-			// invalidates every remote copy) before dirtying it.
-			if !ln.dirty && l.next != nil && l.next.coherent {
-				if f := l.next.Upgrade(now, la, l.id); f > ready {
-					ready = f
+			if l.next != nil && l.next.coherent {
+				// A store to a copy without write permission is the
+				// *→M transition. The protocol decides the path: a
+				// Shared (or MOESI Owned) copy must ask the directory
+				// for ownership, which invalidates every remote copy; a
+				// MESI/MOESI Exclusive copy upgrades silently — the
+				// whole point of the E state.
+				if l.next.proto.NeedsOwnership(ln.st) {
+					if f := l.next.Upgrade(now, la, l.id); f > ready {
+						ready = f
+					}
+				} else if ln.st == Exclusive {
+					l.st.SilentUpgrades++
 				}
+				l.traceState(la, ln.st, Modified, EvLocalWrite)
+				ln.st = Modified
 			}
 			ln.dirty = true
+		} else if l.tr != nil && l.next != nil && l.next.coherent {
+			l.traceState(la, ln.st, ln.st, EvLocalRead)
 		}
 		return cache.Outcome{Hit: true, ReadyAt: ready}, true
 	}
@@ -195,11 +223,18 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 			ready := m.readyAt
 			if write {
 				// First store to merge into a read refill: the install
-				// will be Modified, so take ownership now.
-				if !m.markDirty && l.next != nil && l.next.coherent {
-					if f := l.next.Upgrade(now, la, l.id); f > ready {
-						ready = f
+				// will be Modified, so take ownership now (silently, if
+				// the refill was granted Exclusive).
+				if l.next != nil && l.next.coherent && m.state != Modified {
+					if l.next.proto.NeedsOwnership(m.state) {
+						if f := l.next.Upgrade(now, la, l.id); f > ready {
+							ready = f
+						}
+					} else if m.state == Exclusive {
+						l.st.SilentUpgrades++
 					}
+					l.traceState(la, m.state, Modified, EvLocalWrite)
+					m.state = Modified
 				}
 				m.markDirty = true
 			}
@@ -227,7 +262,9 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 	}
 
 	// A dirty victim occupies the L1↔L2 bus for one line transfer and
-	// lands in the (inclusive) L2.
+	// lands in the (inclusive) L2. Under MOESI this is also how an Owned
+	// line's dirty data finally reaches the L2: a plain write-back, not a
+	// forward.
 	if ln.valid && ln.dirty {
 		l.st.Evictions++
 		if l.busFreeAt < now {
@@ -237,6 +274,12 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 		ln.dirty = false
 		if l.next != nil {
 			l.next.writeBack(now, ln.tag, l.id)
+			if l.next.coherent {
+				// The copy stays readable until the install overwrites
+				// it, but its dirty data has been given up: M/O → S.
+				l.traceState(ln.tag, ln.st, Shared, EvWriteback)
+				ln.st = Shared
+			}
 		}
 	}
 
@@ -248,8 +291,9 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 	// request), (L1 bus free + one transfer) and (bank bus free).
 	penalty := l.cfg.MissPenalty
 	floor := now
+	var grant State
 	if l.next != nil {
-		penalty, floor = l.next.fetch(now, la, l.id, write)
+		penalty, floor, grant = l.next.fetch(now, la, l.id, write)
 	}
 	ready := now + int64(l.cfg.HitLatency+penalty)
 	if b := l.busFreeAt + int64(l.cfg.BusCyclesPerLine); b > ready {
@@ -259,57 +303,96 @@ func (l *L1) Access(now int64, addr uint64, write bool) (cache.Outcome, bool) {
 		ready = floor
 	}
 	l.busFreeAt = ready
-	l.mshrs[slot] = mshr{busy: true, lineAddr: la, readyAt: ready, markDirty: write}
+	l.mshrs[slot] = mshr{busy: true, lineAddr: la, readyAt: ready, markDirty: write, state: grant}
 	return cache.Outcome{ReadyAt: ready}, true
 }
 
-// invalidateLine is the L1's invalidation port: the shared L2's MSI
-// directory calls it when another core takes ownership of the line or the
-// L2 evicts it. Matured refills are installed first (so a refill that
-// completed earlier this cycle is invalidated as a line, not missed), the
-// line is dropped if present, and a still-in-flight refill of the line is
-// squashed — its requester keeps the data (the outcome already returned)
-// but nothing installs, the race the directory must win. Reports whether
-// a copy existed and whether it was dirty; a merged-but-uninstalled store
+// invalidateLine is the L1's invalidation port: the shared L2's
+// directory calls it when another core takes ownership of the line
+// (reason EvRemoteWrite) or the L2 evicts it (reason EvRecall). Matured
+// refills are installed first (so a refill that completed earlier this
+// cycle is invalidated as a line, not missed), the line is dropped if
+// present, and a still-in-flight refill of the line is squashed — its
+// requester keeps the data (the outcome already returned) but nothing
+// installs, the race the directory must win. Reports whether a copy
+// existed and whether it was dirty; a merged-but-uninstalled store
 // (markDirty) counts as dirty, since its data would otherwise be lost.
-func (l *L1) invalidateLine(now int64, lineAddr uint64) (present, wasDirty bool) {
+func (l *L1) invalidateLine(now int64, lineAddr uint64, reason Event) (present, wasDirty bool) {
 	l.drain(now)
 	ln := &l.lines[l.index(lineAddr)]
 	if ln.valid && ln.tag == lineAddr {
 		present = true
 		wasDirty = ln.dirty
+		l.traceState(lineAddr, ln.st, Invalid, reason)
 		ln.valid = false
 		ln.dirty = false
+		ln.st = Invalid
 	}
 	for i := range l.mshrs {
 		m := &l.mshrs[i]
 		if m.busy && !m.invalidated && m.lineAddr == lineAddr {
 			present = true
 			wasDirty = wasDirty || m.markDirty
+			l.traceState(lineAddr, m.state, Invalid, reason)
 			m.invalidated = true
 		}
 	}
 	return present, wasDirty
 }
 
-// downgradeLine is the M→S half of the port: a remote reader forced the
-// owner to forward its dirty data, so the local copy stays valid but
-// clean. Reports whether dirty data was actually given up.
-func (l *L1) downgradeLine(now int64, lineAddr uint64) (wasDirty bool) {
+// remoteRead is the downgrade half of the port: another core wants to
+// read a line this core was granted exclusively, and the protocol
+// decides what the local copy gives up — MSI/MESI write a dirty copy
+// back and keep it Shared (ForwardWriteback), MOESI forwards
+// cache-to-cache and keeps the copy dirty in Owned (ForwardOwner), a
+// clean Exclusive copy downgrades for free (ForwardNone). The returned
+// action is what the L2 models on its bank bus. A copy the L1 no longer
+// holds (silently evicted clean) resolves through OnRemoteRead(Invalid),
+// so each protocol also decides the stale-directory-entry case — MSI
+// still reports ForwardWriteback there, preserving the pre-refactor
+// unconditional forward accounting.
+func (l *L1) remoteRead(now int64, lineAddr uint64, p Protocol) ForwardAction {
 	l.drain(now)
+	found := false
+	var action ForwardAction
 	ln := &l.lines[l.index(lineAddr)]
-	if ln.valid && ln.tag == lineAddr && ln.dirty {
-		ln.dirty = false
-		wasDirty = true
+	if ln.valid && ln.tag == lineAddr {
+		found = true
+		next, act := p.OnRemoteRead(ln.st)
+		action = act
+		l.traceState(lineAddr, ln.st, next, EvRemoteRead)
+		ln.st = next
+		ln.dirty = next.Dirty()
 	}
 	for i := range l.mshrs {
 		m := &l.mshrs[i]
-		if m.busy && !m.invalidated && m.lineAddr == lineAddr && m.markDirty {
-			m.markDirty = false
-			wasDirty = true
+		if m.busy && !m.invalidated && m.lineAddr == lineAddr {
+			st := m.state
+			if m.markDirty && !st.Dirty() {
+				st = Modified
+			}
+			next, act := p.OnRemoteRead(st)
+			if !found {
+				action = act
+			}
+			found = true
+			l.traceState(lineAddr, st, next, EvRemoteRead)
+			m.state = next
+			m.markDirty = next.Dirty()
 		}
 	}
-	return wasDirty
+	if !found {
+		_, action = p.OnRemoteRead(Invalid)
+	}
+	return action
+}
+
+// traceState reports one local state transition to the conformance
+// tracer (nil in production).
+func (l *L1) traceState(lineAddr uint64, from, to State, ev Event) {
+	if l.tr != nil && l.tr.StateChange != nil {
+		l.tr.StateChange(l.id, lineAddr, from, to, ev)
+	}
 }
 
 // Probe reports whether addr currently hits, without side effects (tests

@@ -2,7 +2,6 @@ package mem
 
 import (
 	"fmt"
-	"math/bits"
 )
 
 // L2Config sizes the banked, finite, shared L2. It subsumes the old
@@ -73,23 +72,21 @@ type refill struct {
 	readyAt  int64
 }
 
-// dirEntry is one set's MSI directory state, valid for the line the set's
-// tag currently names: which L1 ports (conservatively) hold a copy, and
-// which of them — if any — owns it Modified. The invariant maintained by
-// every transition is owner ∈ sharers, and owner >= 0 implies no other
-// sharer holds the line (their copies were invalidated when ownership was
-// granted). Sharer bits are conservative: a clean line silently dropped by
-// an L1 conflict eviction leaves its bit set, and a later invalidation of
-// that core is a counted-but-no-op message — exactly how imprecise
-// hardware directories behave.
-type dirEntry struct {
-	sharers uint64
-	owner   int16 // port index, or -1 when no Modified copy exists
-}
-
+// Each bank's directory (bank.dir) tracks, per set and valid for the line
+// the set's tag currently names, which L1 ports (conservatively) hold a
+// copy and which single port — if any — was granted it exclusively
+// (Exclusive or Modified; the grant is recorded as "owner" because the
+// E→M upgrade is silent). The invariant maintained by every transition is
+// owner ∈ sharers, and owner >= 0 implies no other sharer holds the line
+// under MSI (MESI/MOESI grant E only when sole). Sharer information is
+// conservative: a clean line silently dropped by an L1 conflict eviction
+// stays recorded, and a later invalidation of that core is a
+// counted-but-no-op message — exactly how imprecise hardware directories
+// behave. The representation behind the Directory interface is pluggable
+// (full-map bitmask or limited pointers; see directory.go).
 type bank struct {
 	tags      []uint64 // tag per set, +1 (0 = invalid); direct-mapped
-	dir       []dirEntry
+	dir       Directory
 	busFreeAt int64
 	inflight  []refill
 }
@@ -101,15 +98,18 @@ type bank struct {
 // and works entirely in line-address space.
 //
 // With coherence enabled (System wires it when MulticoreConfig.Coherence
-// is set), each set additionally carries an MSI directory entry — sharer
-// bitmask plus Modified owner — and the L2 drives invalidation and
-// downgrade messages into the registered L1 ports: stores take ownership
-// through an upgrade path that invalidates remote copies, remote dirty
-// lines are forwarded through the bank bus before a reader or new owner
-// proceeds, and L2 evictions back-invalidate the victim's sharers so the
-// hierarchy stays inclusive. Every coherence action is behind the
-// coherent flag: a non-coherent BankedL2 is bit-for-bit the PR-4
-// hierarchy.
+// is set), each bank additionally carries a directory — sharer tracking
+// plus exclusive-owner pointer, behind the pluggable Directory interface
+// — and the L2 drives invalidation and downgrade messages into the
+// registered L1 ports under the selected Protocol (MSI, MESI or MOESI):
+// stores take ownership through an upgrade path that invalidates remote
+// copies, remote dirty lines are forwarded through the bank bus before a
+// reader or new owner proceeds (written back to the L2, or cache-to-cache
+// under MOESI's Owned state), and L2 evictions back-invalidate the
+// victim's sharers so the hierarchy stays inclusive. Every coherence
+// action is behind the coherent flag: a non-coherent BankedL2 is
+// bit-for-bit the PR-4 hierarchy, and the default MSI protocol over the
+// full-map directory is bit-for-bit the PR-5 one (golden-pinned).
 //
 // The L2 is not internally synchronized. It relies on its drivers —
 // either the serial lockstep loop or the parallel stepper's memory gate
@@ -134,7 +134,13 @@ type BankedL2 struct {
 	lastCore    int
 
 	coherent bool
+	proto    Protocol
 	ports    []*L1 // invalidation/downgrade targets, indexed by L1 id
+	tr       *CohTracer
+	// visitBuf is the reusable sharer-listing buffer for invalidation
+	// rounds (capacity = core count, sized by attachPorts), so the hot
+	// paths never allocate per round.
+	visitBuf []int16
 
 	// Statistics.
 	Fetches    int64
@@ -150,11 +156,17 @@ type BankedL2 struct {
 	// zero whenever cores never share a line (namespaced address
 	// spaces). BackInvalidations counts the inclusion half: victims an
 	// L2 eviction forces out of their sharers' L1s, which happens under
-	// pure capacity pressure even without sharing.
+	// pure capacity pressure even without sharing. OwnerForwards is
+	// MOESI's replacement for read-triggered WritebackForwards; the
+	// Dir counters measure the limited-pointer directory's precision
+	// loss and are zero on the exact full map.
 	Invalidations     int64 // sharing-driven invalidation messages to remote L1s
 	BackInvalidations int64 // inclusion: L2 victims invalidated out of sharer L1s
 	Upgrades          int64 // stores that asked the directory for ownership of a present line
-	WritebackForwards int64 // dirty remote copies forwarded through a bank
+	WritebackForwards int64 // dirty remote copies forwarded through a bank into the L2
+	OwnerForwards     int64 // dirty lines forwarded cache-to-cache, kept dirty (MOESI Owned)
+	DirOverflows      int64 // sets whose sharer count exhausted the pointer budget
+	DirBroadcasts     int64 // invalidation rounds degraded to broadcast by an overflowed set
 }
 
 // NewBankedL2 builds the shared L2 for the given L1 line size.
@@ -191,24 +203,27 @@ func (c *BankedL2) preallocInflight(maxInflight int) {
 // Config returns the configuration the L2 was built with.
 func (c *BankedL2) Config() L2Config { return c.cfg }
 
-// Coherent reports whether the MSI directory is active.
+// Coherent reports whether the coherence directory is active.
 func (c *BankedL2) Coherent() bool { return c.coherent }
 
-// attachPorts switches the L2 into MSI mode and registers the L1s it may
-// invalidate, indexed by their port id. Called by NewSystem before any
-// traffic flows.
-func (c *BankedL2) attachPorts(ports []*L1) error {
-	if len(ports) > 64 {
-		return fmt.Errorf("mem: MSI directory tracks at most 64 cores, have %d", len(ports))
-	}
+// Protocol returns the active coherence protocol (nil when not coherent).
+func (c *BankedL2) Protocol() Protocol { return c.proto }
+
+// attachPorts switches the L2 into coherent mode under the given protocol
+// and directory representation, registering the L1s it may invalidate,
+// indexed by their port id. Called by NewSystem before any traffic flows.
+func (c *BankedL2) attachPorts(ports []*L1, proto Protocol, dirKind string) error {
 	c.coherent = true
+	c.proto = proto
 	c.ports = ports
+	c.visitBuf = make([]int16, 0, len(ports))
 	for i := range c.banks {
 		b := &c.banks[i]
-		b.dir = make([]dirEntry, len(b.tags))
-		for s := range b.dir {
-			b.dir[s].owner = -1
+		dir, err := NewDirectory(dirKind, len(b.tags), len(ports))
+		if err != nil {
+			return err
 		}
+		b.dir = dir
 	}
 	return nil
 }
@@ -296,16 +311,21 @@ func (c *BankedL2) reserveBus(b *bank, now int64) int64 {
 //
 //vpr:memphase
 func (c *BankedL2) Fetch(now int64, lineAddr uint64) (penalty int, floor int64) {
-	return c.fetch(now, lineAddr, 0, false)
+	penalty, floor, _ = c.fetch(now, lineAddr, 0, false)
+	return penalty, floor
 }
 
-// fetch is Fetch with the requesting port and its write intent. With
-// coherence enabled, an exclusive fetch is a read-for-ownership: remote
-// sharers are invalidated and the directory records the requester as the
-// Modified owner; a plain fetch that finds a remote Modified copy forwards
-// the dirty line through the bank (write-back forward) and downgrades the
-// owner to Shared.
-func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (penalty int, floor int64) {
+// fetch is Fetch with the requesting port and its write intent, returning
+// additionally the coherence state the requester's copy is granted
+// (Modified for a write; the protocol's read-fill state — Shared, or
+// Exclusive when provably sole — for a read; meaningless when not
+// coherent). With coherence enabled, an exclusive fetch is a
+// read-for-ownership: remote sharers are invalidated and the directory
+// records the requester as the owner; a plain fetch that finds a remote
+// owner consults it through the protocol — a dirty copy is forwarded
+// through the bank (written back under MSI/MESI, cache-to-cache under
+// MOESI's Owned state), a clean Exclusive copy downgrades for free.
+func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (penalty int, floor int64, grant State) {
 	b, set := c.bankOf(lineAddr)
 	c.advance(b, now)
 	c.noteCore(core)
@@ -323,16 +343,18 @@ func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (
 				if b.tags[set] != lineAddr+1 {
 					c.evictVictim(b, set, now)
 					b.tags[set] = lineAddr + 1
-					b.dir[set] = dirEntry{owner: -1}
+					b.dir.Clear(set)
 				}
-				if cf := c.dirJoin(b, set, lineAddr, core, exclusive, now); cf > f {
+				var cf int64
+				cf, grant = c.dirJoin(b, set, lineAddr, core, exclusive, now)
+				if cf > f {
 					f = cf
 				}
 			}
 			if r.readyAt > f {
 				f = r.readyAt
 			}
-			return c.cfg.HitPenalty, f
+			return c.cfg.HitPenalty, f, grant
 		}
 	}
 	penalty = c.cfg.HitPenalty
@@ -340,7 +362,9 @@ func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (
 	if *tag == lineAddr+1 {
 		c.Hits++
 		if c.coherent {
-			if cf := c.dirJoin(b, set, lineAddr, core, exclusive, now); cf > floor {
+			var cf int64
+			cf, grant = c.dirJoin(b, set, lineAddr, core, exclusive, now)
+			if cf > floor {
 				floor = cf
 			}
 		}
@@ -349,10 +373,19 @@ func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (
 		penalty = c.cfg.MissPenalty
 		if c.coherent {
 			c.evictVictim(b, set, now)
-			b.dir[set] = dirEntry{sharers: 1 << uint(core), owner: -1}
+			b.dir.AddSharer(set, core)
 			if exclusive {
-				b.dir[set].owner = int16(core)
+				b.dir.SetOwner(set, core)
+				grant = Modified
+			} else {
+				// A fresh install is provably sole — no other core can
+				// hold a line the L2 itself just fetched (inclusion).
+				grant = c.proto.ReadFillState(true)
+				if grant == Exclusive {
+					b.dir.SetOwner(set, core)
+				}
 			}
+			c.traceFill(core, lineAddr, grant, -1)
 		}
 		*tag = lineAddr + 1
 		//vpr:allowalloc bounded: capacity preallocated to cores*MSHRs by NewSystem
@@ -361,47 +394,74 @@ func (c *BankedL2) fetch(now int64, lineAddr uint64, core int, exclusive bool) (
 	if f := c.reserveBus(b, now); f > floor {
 		floor = f
 	}
-	return penalty, floor
+	return penalty, floor, grant
 }
 
 // dirJoin records core's copy of a line already present in the L2 (tag
-// hit or in-flight merge) and performs the MSI transition its intent
-// requires, returning the cycle the coherence traffic completes.
-func (c *BankedL2) dirJoin(b *bank, set int, lineAddr uint64, core int, exclusive bool, now int64) int64 {
-	e := &b.dir[set]
-	bit := uint64(1) << uint(core)
+// hit or in-flight merge) and performs the transition its intent
+// requires under the active protocol, returning the cycle the coherence
+// traffic completes and the state the copy is granted.
+func (c *BankedL2) dirJoin(b *bank, set int, lineAddr uint64, core int, exclusive bool, now int64) (int64, State) {
 	floor := now
 	if exclusive {
-		if f := c.claimOwnership(b, e, lineAddr, core, now); f > floor {
+		if f := c.claimOwnership(b, set, lineAddr, core, now); f > floor {
 			floor = f
 		}
-	} else {
-		if e.owner >= 0 && int(e.owner) != core {
-			// M at a remote core: forward the dirty line through the bank
-			// and downgrade the owner to Shared.
+		c.traceFill(core, lineAddr, Modified, -1)
+		return floor, Modified
+	}
+	src := -1
+	if owner := b.dir.Owner(set); owner >= 0 && owner != core {
+		// An exclusive grant lives at a remote core; only its L1 knows
+		// whether the copy is still clean (E), dirty (M/O), or silently
+		// gone. The protocol maps that state to the forwarding to model.
+		switch c.ports[owner].remoteRead(now, lineAddr, c.proto) {
+		case ForwardWriteback:
+			// Dirty line rides the bank bus into the L2; the owner
+			// keeps a clean Shared copy.
 			c.WritebackForwards++
-			c.ports[e.owner].downgradeLine(now, lineAddr)
+			src = owner
 			if f := c.reserveBus(b, now); f > floor {
 				floor = f
 			}
-			e.owner = -1
+			b.dir.ClearOwner(set)
+		case ForwardOwner:
+			// MOESI: dirty line rides the bus cache-to-cache; the owner
+			// keeps it dirty (Owned) and stays the directory's owner.
+			c.OwnerForwards++
+			src = owner
+			if f := c.reserveBus(b, now); f > floor {
+				floor = f
+			}
+		case ForwardNone:
+			// Clean (or vanished) copy: the L2's data is current.
+			b.dir.ClearOwner(set)
 		}
-		e.sharers |= bit
 	}
-	return floor
+	sole := b.dir.Owner(set) < 0 && !b.dir.OtherSharers(set, core)
+	grant := c.proto.ReadFillState(sole)
+	if b.dir.AddSharer(set, core) {
+		c.DirOverflows++
+	}
+	if grant == Exclusive {
+		b.dir.SetOwner(set, core)
+	}
+	c.traceFill(core, lineAddr, grant, src)
+	return floor, grant
 }
 
 // claimOwnership invalidates every remote copy of the line and records
-// core as its Modified owner. Each invalidation message occupies the
+// core as its exclusive owner. Each invalidation message occupies the
 // bank's bus; a remote copy that was dirty additionally forwards its line
-// through the bank before ownership transfers.
-func (c *BankedL2) claimOwnership(b *bank, e *dirEntry, lineAddr uint64, core int, now int64) int64 {
-	bit := uint64(1) << uint(core)
+// through the bank before ownership transfers. On an overflowed
+// limited-pointer set the round degrades to a broadcast over every
+// attached core.
+func (c *BankedL2) claimOwnership(b *bank, set int, lineAddr uint64, core int, now int64) int64 {
 	floor := now
-	for others := e.sharers &^ bit; others != 0; others &= others - 1 {
-		j := bits.TrailingZeros64(others)
+	sharers, broadcast := b.dir.AppendSharers(set, core, c.visitBuf[:0])
+	for _, j := range sharers {
 		c.Invalidations++
-		_, wasDirty := c.ports[j].invalidateLine(now, lineAddr)
+		_, wasDirty := c.ports[j].invalidateLine(now, lineAddr, EvRemoteWrite)
 		f := c.reserveBus(b, now)
 		if wasDirty {
 			c.WritebackForwards++
@@ -411,9 +471,21 @@ func (c *BankedL2) claimOwnership(b *bank, e *dirEntry, lineAddr uint64, core in
 			floor = f
 		}
 	}
-	e.sharers = bit
-	e.owner = int16(core)
+	if broadcast {
+		c.DirBroadcasts++
+	}
+	b.dir.Clear(set)
+	b.dir.AddSharer(set, core)
+	b.dir.SetOwner(set, core)
 	return floor
+}
+
+// traceFill reports a granted copy to the conformance tracer (nil in
+// production).
+func (c *BankedL2) traceFill(core int, lineAddr uint64, grant State, src int) {
+	if c.tr != nil && c.tr.Fill != nil {
+		c.tr.Fill(core, lineAddr, grant, src)
+	}
 }
 
 // Upgrade is the store-to-Shared-line ownership path: the L1 hit a clean
@@ -436,32 +508,35 @@ func (c *BankedL2) Upgrade(now int64, lineAddr uint64, core int) int64 {
 		// directory of whatever line the set holds.
 		c.evictVictim(b, set, now)
 		*tag = lineAddr + 1
-		b.dir[set] = dirEntry{owner: -1}
+		b.dir.Clear(set)
 	}
-	return c.claimOwnership(b, &b.dir[set], lineAddr, core, now)
+	return c.claimOwnership(b, set, lineAddr, core, now)
 }
 
 // evictVictim back-invalidates the line a set is about to replace from
-// every L1 that (conservatively) holds it — the inclusion half of MSI. A
-// dirty copy surfaces as a write-back forward on its way to memory.
+// every L1 that (conservatively) holds it — the inclusion invariant. A
+// dirty copy surfaces as a write-back forward on its way to memory. An
+// overflowed limited-pointer set back-invalidates by broadcast.
 func (c *BankedL2) evictVictim(b *bank, set int, now int64) {
-	e := &b.dir[set]
-	if b.tags[set] == 0 || e.sharers == 0 {
-		e.sharers, e.owner = 0, -1
+	if b.tags[set] == 0 {
+		b.dir.Clear(set)
 		return
 	}
 	victim := b.tags[set] - 1
-	for s := e.sharers; s != 0; s &= s - 1 {
-		j := bits.TrailingZeros64(s)
+	sharers, broadcast := b.dir.AppendSharers(set, -1, c.visitBuf[:0])
+	for _, j := range sharers {
 		c.BackInvalidations++
-		_, wasDirty := c.ports[j].invalidateLine(now, victim)
+		_, wasDirty := c.ports[j].invalidateLine(now, victim, EvRecall)
 		c.reserveBus(b, now)
 		if wasDirty {
 			c.WritebackForwards++
 			c.reserveBus(b, now)
 		}
 	}
-	e.sharers, e.owner = 0, -1
+	if broadcast {
+		c.DirBroadcasts++
+	}
+	b.dir.Clear(set)
 }
 
 // WriteBack lands a dirty L1 victim in the L2, occupying the bank's bus
@@ -487,10 +562,9 @@ func (c *BankedL2) writeBack(now int64, lineAddr uint64, core int) {
 		if *tag != lineAddr+1 {
 			c.evictVictim(b, set, now)
 		} else {
-			e := &b.dir[set]
-			e.sharers &^= uint64(1) << uint(core)
-			if int(e.owner) == core {
-				e.owner = -1
+			b.dir.RemoveSharer(set, core)
+			if b.dir.Owner(set) == core {
+				b.dir.ClearOwner(set)
 			}
 		}
 	}
@@ -512,6 +586,9 @@ func (c *BankedL2) Stats() Stats {
 		L2BackInvalidations: c.BackInvalidations,
 		L2Upgrades:          c.Upgrades,
 		L2WritebackForwards: c.WritebackForwards,
+		L2OwnerForwards:     c.OwnerForwards,
+		L2DirOverflows:      c.DirOverflows,
+		L2DirBroadcasts:     c.DirBroadcasts,
 	}
 }
 

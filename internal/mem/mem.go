@@ -12,18 +12,21 @@
 // abstracted, and a differential test pins the two against each other on
 // randomized access streams.
 //
-// When a System is built coherent, the BankedL2 additionally runs an MSI
-// directory: each set tracks a sharer bitmask and a Modified owner next
-// to its tag, stores take ownership through an upgrade path that
-// invalidates remote L1 copies (including refills still in flight),
-// remote dirty lines are forwarded through the per-bank bus before a
-// reader or new owner proceeds, and L2 evictions back-invalidate the
-// victim's sharers so the hierarchy stays inclusive. Every coherence
-// action sits behind the coherent flag — a non-coherent hierarchy is
-// bit-for-bit the pre-coherence one — and all transitions happen
-// synchronously at access time, so the lockstep multi-core runner keeps
-// the directory deterministic. docs/ARCHITECTURE.md has the protocol
-// table.
+// When a System is built coherent, the BankedL2 additionally runs a
+// directory under a pluggable invalidation protocol (protocol.go: MSI,
+// MESI or MOESI behind the Protocol interface) over a pluggable sharer
+// representation (directory.go: full-map bitmask or limited pointers
+// behind the Directory interface): stores take ownership through an
+// upgrade path that invalidates remote L1 copies (including refills
+// still in flight), remote dirty lines are forwarded through the
+// per-bank bus before a reader or new owner proceeds, and L2 evictions
+// back-invalidate the victim's sharers so the hierarchy stays inclusive.
+// Every coherence action sits behind the coherent flag — a non-coherent
+// hierarchy is bit-for-bit the pre-coherence one, and the default
+// MSI/full-map selection is bit-for-bit the hardwired PR-5 directory
+// (golden-pinned) — and all transitions happen synchronously at access
+// time, so the lockstep multi-core runner keeps the directory
+// deterministic. docs/ARCHITECTURE.md has the protocol tables.
 //
 // The shared types here are the //vpr:memstate surface of the parallel
 // stepper's determinism contract: vplint's phasepure analyzer requires
@@ -80,6 +83,11 @@ type Stats struct {
 	Evictions    int64 // dirty lines written back
 	PeakInFlight int
 
+	// SilentUpgrades counts stores that found a MESI/MOESI Exclusive
+	// copy and took ownership without any directory traffic — the E
+	// state's whole payoff. Zero under MSI (it has no E state).
+	SilentUpgrades int64
+
 	// L2.
 	L2Fetches    int64
 	L2Hits       int64
@@ -88,11 +96,17 @@ type Stats struct {
 	L2WriteBacks int64
 	L2Conflicts  int64 // fetches/write-backs that found the bank bus busy
 
-	// MSI coherence (zero unless the System was built coherent).
+	// Coherence (zero unless the System was built coherent).
 	L2Invalidations     int64 // sharing-driven invalidation messages to remote L1s
 	L2BackInvalidations int64 // inclusion: L2 victims invalidated out of sharer L1s
 	L2Upgrades          int64 // S→M ownership requests for present lines
 	L2WritebackForwards int64 // dirty remote copies forwarded through a bank
+
+	// Protocol/directory variants (zero under the default MSI/full-map
+	// selection, which keeps the golden pins byte-identical).
+	L2OwnerForwards int64 // MOESI: dirty lines forwarded cache-to-cache, kept Owned
+	L2DirOverflows  int64 // limited pointers: sets that exhausted their budget
+	L2DirBroadcasts int64 // limited pointers: invalidation rounds degraded to broadcast
 }
 
 // Add accumulates other into s (PeakInFlight takes the maximum).
@@ -108,6 +122,7 @@ func (s *Stats) Add(other Stats) {
 	if other.PeakInFlight > s.PeakInFlight {
 		s.PeakInFlight = other.PeakInFlight
 	}
+	s.SilentUpgrades += other.SilentUpgrades
 	s.L2Fetches += other.L2Fetches
 	s.L2Hits += other.L2Hits
 	s.L2Misses += other.L2Misses
@@ -118,6 +133,9 @@ func (s *Stats) Add(other Stats) {
 	s.L2BackInvalidations += other.L2BackInvalidations
 	s.L2Upgrades += other.L2Upgrades
 	s.L2WritebackForwards += other.L2WritebackForwards
+	s.L2OwnerForwards += other.L2OwnerForwards
+	s.L2DirOverflows += other.L2DirOverflows
+	s.L2DirBroadcasts += other.L2DirBroadcasts
 }
 
 // Single adapts the original single-core cache.Cache (infinite L2, or the

@@ -240,7 +240,7 @@ func TestCrossCoreRefillMerge(t *testing.T) {
 func TestSystemNamespacesCores(t *testing.T) {
 	l2geom := L2Config{Enabled: true, SizeBytes: 64 * 1024, Banks: 4,
 		HitPenalty: 20, MissPenalty: 100, BankBusCycles: 0}
-	sys, err := NewSystem(l1cfg(), l2geom, 2, false, false)
+	sys, err := NewSystem(l1cfg(), l2geom, 2, false, CoherenceConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestSystemNamespacesCores(t *testing.T) {
 		t.Fatalf("system accesses = %d, want 2", got)
 	}
 
-	shared, err := NewSystem(l1cfg(), l2geom, 2, true, false)
+	shared, err := NewSystem(l1cfg(), l2geom, 2, true, CoherenceConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestSystemNamespacesCores(t *testing.T) {
 // other on every fetch (zero L2 hits in every lockstep run).
 func TestNamespacedCoresDoNotEvictEachOther(t *testing.T) {
 	sys, err := NewSystem(l1cfg(), L2Config{Enabled: true, SizeBytes: 256 * 1024, Banks: 4,
-		HitPenalty: 20, MissPenalty: 100, BankBusCycles: 0}, 2, false, false)
+		HitPenalty: 20, MissPenalty: 100, BankBusCycles: 0}, 2, false, CoherenceConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestBadConfigsRejected(t *testing.T) {
 	if _, err := NewBankedL2(L2Config{SizeBytes: 64 * 1024, Banks: 1, HitPenalty: 10, MissPenalty: 5}, 32); err == nil {
 		t.Error("miss penalty below hit penalty must be rejected")
 	}
-	if _, err := NewSystem(l1cfg(), L2Config{SizeBytes: 64 * 1024, Banks: 1, HitPenalty: 2, MissPenalty: 4}, 0, false, false); err == nil {
+	if _, err := NewSystem(l1cfg(), L2Config{SizeBytes: 64 * 1024, Banks: 1, HitPenalty: 2, MissPenalty: 4}, 0, false, CoherenceConfig{}); err == nil {
 		t.Error("zero cores must be rejected")
 	}
 }

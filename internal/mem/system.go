@@ -23,6 +23,23 @@ type System struct {
 	l1s []*L1
 }
 
+// CoherenceConfig selects the coherence machinery of a System: whether
+// it runs at all, which invalidation protocol governs the L1 states
+// (registered in protocol.go; "" = MSI), and which directory
+// representation tracks sharers (registered in directory.go; "" =
+// full-map bitmask, "limited[:N]" for the pointer scheme that lifts the
+// 64-core cap). The zero value is coherence off — the pre-coherence
+// hierarchy, bit for bit.
+type CoherenceConfig struct {
+	Enabled   bool
+	Protocol  string
+	Directory string
+	// Tracer, when non-nil, attaches a conformance tracer to every L1
+	// port and the shared L2 at construction. Test-only instrumentation:
+	// production runs leave it nil and every emission site is nil-guarded.
+	Tracer *CohTracer
+}
+
 // NewSystem builds the hierarchy for the given number of cores. With
 // sharedAddr false each core's addresses are namespaced (cores model
 // private memories and never alias, the multi-programmed default); with
@@ -30,16 +47,18 @@ type System struct {
 // the same L2 lines and in-flight refills merge across cores — the
 // shared-data scenario.
 //
-// coherent activates the MSI directory over the banked L2: stores take
-// ownership of their line (invalidating remote L1 copies), remote dirty
-// lines are forwarded through the bank bus before a reader proceeds, and
-// L2 evictions back-invalidate the victim's sharers (inclusion). With
-// coherent false nothing of that machinery runs and the hierarchy is
-// bit-for-bit the pre-coherence one. Coherence is meaningful with either
-// address-space mode — namespaced cores simply never share a line, so
-// the directory records single-core sharer sets and sends no
-// invalidations — and supports at most 64 cores (the sharer bitmask).
-func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr, coherent bool) (*System, error) {
+// coh.Enabled activates the directory over the banked L2 under the
+// selected protocol and representation: stores take ownership of their
+// line (invalidating remote L1 copies), remote dirty lines are forwarded
+// through the bank bus before a reader proceeds, and L2 evictions
+// back-invalidate the victim's sharers (inclusion). With it false
+// nothing of that machinery runs and the hierarchy is bit-for-bit the
+// pre-coherence one. Coherence is meaningful with either address-space
+// mode — namespaced cores simply never share a line, so the directory
+// records single-core sharer sets and sends no invalidations. The
+// full-map directory supports at most 64 cores (its sharer bitmask);
+// the limited-pointer one has no core cap.
+func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr bool, coh CoherenceConfig) (*System, error) {
 	if cores <= 0 {
 		return nil, fmt.Errorf("mem: need at least one core, have %d", cores)
 	}
@@ -63,9 +82,19 @@ func NewSystem(l1 L1Config, l2 L2Config, cores int, sharedAddr, coherent bool) (
 		}
 		s.l1s = append(s.l1s, p)
 	}
-	if coherent {
-		if err := shared.attachPorts(s.l1s); err != nil {
+	if coh.Enabled {
+		proto, err := ProtocolByName(coh.Protocol)
+		if err != nil {
 			return nil, err
+		}
+		if err := shared.attachPorts(s.l1s, proto, coh.Directory); err != nil {
+			return nil, err
+		}
+	}
+	if coh.Tracer != nil {
+		shared.tr = coh.Tracer
+		for _, p := range s.l1s {
+			p.tr = coh.Tracer
 		}
 	}
 	return s, nil

@@ -38,19 +38,31 @@ type MulticoreConfig struct {
 	// the accepted spellings.
 	Step StepMode
 
-	// Coherence activates the MSI directory over the shared L2: stores
+	// Coherence activates the directory over the shared L2: stores
 	// invalidate remote L1 copies through an ownership/upgrade path,
 	// remote dirty lines are forwarded through the bank bus, and L2
 	// evictions back-invalidate their sharers (inclusive hierarchy). Off
 	// (the default), runs are byte-identical to the coherence-free
 	// hierarchy — no directory state exists and no invalidation traffic
-	// is modelled, exactly the PR-4 behaviour. Requires L2.Enabled and at
-	// most 64 cores. The traffic appears in Stats as L2Invalidations /
+	// is modelled, exactly the PR-4 behaviour. Requires L2.Enabled. The
+	// traffic appears in Stats as L2Invalidations /
 	// L2BackInvalidations / L2Upgrades / L2WritebackForwards; the
 	// sharing-driven L2Invalidations are only nonzero when cores actually
 	// share lines (SharedAddressSpace), while upgrades and inclusion
 	// back-invalidations occur on namespaced runs too.
 	Coherence bool
+
+	// Protocol selects the registered coherence protocol ("msi", "mesi",
+	// "moesi"; "" = msi, which is golden-pinned byte-identical to the
+	// hardwired pre-refactor directory). Only meaningful — and only
+	// accepted — with Coherence set.
+	Protocol string
+
+	// Directory selects the registered sharer representation ("fullmap",
+	// "limited", "limited:N"; "" = fullmap). The full map is exact but
+	// capped at 64 cores; limited pointers degrade overflowing sets to
+	// broadcast and have no core cap. Only accepted with Coherence set.
+	Directory string
 }
 
 // DefaultMulticoreConfig is n copies of the paper's core over the default
@@ -69,6 +81,15 @@ func (c MulticoreConfig) Validate() error {
 	}
 	if c.Coherence && !c.L2.Enabled {
 		return fmt.Errorf("pipeline: coherence needs the shared L2 (L2.Enabled)")
+	}
+	if !c.Coherence && (c.Protocol != "" || c.Directory != "") {
+		return fmt.Errorf("pipeline: Protocol/Directory selections need Coherence enabled")
+	}
+	if _, err := mem.ProtocolByName(c.Protocol); err != nil {
+		return err
+	}
+	if err := mem.ParseDirectoryKind(c.Directory); err != nil {
+		return err
 	}
 	plan, err := c.Step.plan()
 	if err != nil {
@@ -133,7 +154,11 @@ func NewMulticore(cfg MulticoreConfig, gens []trace.Generator) (*Multicore, erro
 	m.liveBuf = make([]int, 0, cfg.Cores)
 	if cfg.L2.Enabled {
 		sys, err := mem.NewSystem(mem.L1FromCacheConfig(cfg.Core.Cache), cfg.L2, cfg.Cores,
-			cfg.SharedAddressSpace, cfg.Coherence)
+			cfg.SharedAddressSpace, mem.CoherenceConfig{
+				Enabled:   cfg.Coherence,
+				Protocol:  cfg.Protocol,
+				Directory: cfg.Directory,
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -292,6 +317,9 @@ func (m *Multicore) Aggregate() Stats {
 		agg.L2BackInvalidations = l2.L2BackInvalidations
 		agg.L2Upgrades = l2.L2Upgrades
 		agg.L2WritebackForwards = l2.L2WritebackForwards
+		agg.L2OwnerForwards = l2.L2OwnerForwards
+		agg.L2DirOverflows = l2.L2DirOverflows
+		agg.L2DirBroadcasts = l2.L2DirBroadcasts
 	}
 	agg.GateWaits = m.parSync.gateWaits
 	agg.PacingWaits = m.parSync.pacingWaits
@@ -348,6 +376,10 @@ func addStats(agg *Stats, st Stats) {
 	agg.L2BackInvalidations += st.L2BackInvalidations
 	agg.L2Upgrades += st.L2Upgrades
 	agg.L2WritebackForwards += st.L2WritebackForwards
+	agg.L2OwnerForwards += st.L2OwnerForwards
+	agg.L2DirOverflows += st.L2DirOverflows
+	agg.L2DirBroadcasts += st.L2DirBroadcasts
+	agg.SilentUpgrades += st.SilentUpgrades
 	agg.ROBOccupancySum += st.ROBOccupancySum
 	agg.IQOccupancySum += st.IQOccupancySum
 	agg.IntRegsInUseSum += st.IntRegsInUseSum

@@ -487,6 +487,7 @@ func (s *Sim) Stats() Stats {
 	st.CacheMergedMiss = ms.Merges
 	st.MSHRStallCycles = ms.MSHRStalls
 	st.PeakMSHRs = ms.PeakInFlight
+	st.SilentUpgrades = ms.SilentUpgrades
 	st.L2Fetches = ms.L2Fetches
 	st.L2Hits = ms.L2Hits
 	st.L2Misses = ms.L2Misses

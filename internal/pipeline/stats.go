@@ -47,15 +47,21 @@ type Stats struct {
 	L2Merges    int64 // fetches folded into another core's in-flight refill
 	L2Conflicts int64 // line transfers that found their L2 bank bus busy
 
-	// MSI coherence over the shared L2 (all zero unless
+	// Coherence over the shared L2 (all zero unless
 	// MulticoreConfig.Coherence is enabled). L2Invalidations counts only
 	// sharing-driven messages and is therefore zero whenever cores never
 	// share a line (namespaced address spaces); upgrades and inclusion
-	// back-invalidations occur even then.
+	// back-invalidations occur even then. The last four fields measure
+	// the non-default protocol/directory selections and stay zero under
+	// MSI over the full map (the golden-pinned default).
 	L2Invalidations     int64 // sharing-driven invalidation messages to remote L1s
 	L2BackInvalidations int64 // inclusion: L2 victims invalidated out of sharer L1s
 	L2Upgrades          int64 // store S→M ownership requests for present lines
 	L2WritebackForwards int64 // dirty remote L1 copies forwarded through a bank
+	L2OwnerForwards     int64 // MOESI: dirty lines forwarded cache-to-cache, kept Owned
+	L2DirOverflows      int64 // limited pointers: sets that exhausted their budget
+	L2DirBroadcasts     int64 // limited pointers: invalidation rounds gone broadcast
+	SilentUpgrades      int64 // MESI/MOESI: E→M stores with zero directory traffic
 
 	// Occupancy integrals (divide by Cycles for averages).
 	ROBOccupancySum int64

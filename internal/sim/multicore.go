@@ -37,10 +37,15 @@ type MulticoreSpec struct {
 	// touching the same addresses share L2 lines and merge refills)
 	// instead of the namespaced, no-aliasing default.
 	SharedAddressSpace bool
-	// Coherence runs the MSI directory over the shared L2 (see
+	// Coherence runs the directory protocol over the shared L2 (see
 	// pipeline.MulticoreConfig.Coherence). Off, runs are byte-identical
 	// to the coherence-free hierarchy.
 	Coherence bool
+	// Protocol selects the coherence protocol ("msi", "mesi", "moesi";
+	// "" = msi) and Directory the sharer representation ("fullmap",
+	// "limited[:N]"; "" = fullmap). Both require Coherence.
+	Protocol  string
+	Directory string
 	// MaxInstrPerCore bounds every core's trace.
 	MaxInstrPerCore int64
 	// Step selects the stepping strategy (lockstep oracle, parallel, or
@@ -122,6 +127,8 @@ func RunMulticoreContext(ctx context.Context, spec MulticoreSpec) (MulticoreResu
 		L2:                 spec.L2,
 		SharedAddressSpace: spec.SharedAddressSpace,
 		Coherence:          spec.Coherence,
+		Protocol:           spec.Protocol,
+		Directory:          spec.Directory,
 		Step:               spec.Step,
 	}, gens)
 	if err != nil {

@@ -43,6 +43,27 @@ type Params struct {
 	// biased taken (predictable loop-like branches); the rest are 50/50
 	// data-dependent branches the 2-bit predictor cannot learn.
 	BiasedBranchFrac float64
+
+	// The sharing-pattern knobs below all treat their zero value as "off"
+	// and consume no RNG draws when off, so parameter sets that predate
+	// them generate byte-identical streams.
+
+	// ResidentLines sizes the resident working set in cache lines
+	// (0 = the classic 64-line ≈ 2 KB set). Large values overflow the L1
+	// and turn resident traffic into L2 sharing traffic.
+	ResidentLines int
+
+	// MigratoryFrac is the fraction of memory accesses that target the
+	// current migratory line: one resident line accessed in long bursts
+	// before the walk advances to the next, so in a shared address space
+	// its ownership migrates from core to core, burst by burst.
+	MigratoryFrac float64
+
+	// FalseShareWords scatters resident accesses over the first N 8-byte
+	// words of their line (0 or 1 = whole-line addressing): distinct
+	// words, same line — with a small resident set, the classic
+	// false-sharing pattern at line granularity.
+	FalseShareWords int
 }
 
 // Defaults returns a balanced integer-program-like parameter set.
@@ -89,6 +110,52 @@ func Sharing() Params {
 	return p
 }
 
+// ProducerConsumer returns a read-dominant sharing pattern over a
+// working set larger than the L1: consumers stream reads, the occasional
+// store invalidates them, and every re-read goes through the shared L2 —
+// the pattern that rewards clean-exclusive (E) grants.
+func ProducerConsumer() Params {
+	p := Defaults()
+	p.FracLoad = 0.45
+	p.FracStore = 0.06
+	p.FracBranch = 0.08
+	p.MeanDepDist = 8
+	p.MissRatio = 0
+	p.BiasedBranchFrac = 0.95
+	p.ResidentLines = 1536 // 48 KB: 3× the 16 KB L1
+	return p
+}
+
+// Migratory returns the migratory-object pattern: most accesses hit the
+// current line of a slow walk over the resident set, read-modify-write
+// style, so ownership of one hot line at a time migrates between cores —
+// the pattern that rewards dirty forwarding (MOESI's Owned state).
+func Migratory() Params {
+	p := Defaults()
+	p.FracLoad = 0.30
+	p.FracStore = 0.15
+	p.FracBranch = 0.08
+	p.MissRatio = 0
+	p.MigratoryFrac = 0.8
+	p.ResidentLines = 128
+	return p
+}
+
+// FalseSharing returns the false-sharing pattern: a resident set of just
+// two lines with accesses scattered over their words, so cores fight for
+// ownership of lines they never truly share — the pattern no protocol
+// can fix, only measure.
+func FalseSharing() Params {
+	p := Defaults()
+	p.FracLoad = 0.25
+	p.FracStore = 0.30
+	p.FracBranch = 0.08
+	p.MissRatio = 0
+	p.ResidentLines = 2
+	p.FalseShareWords = 4 // 32-byte lines hold 4 words
+	return p
+}
+
 // Preset is one named parameter set, for the CLIs and the multicore
 // workload syntax ("synth:sharing").
 type Preset struct {
@@ -105,6 +172,9 @@ var presets = []Preset{
 	{"default", "balanced integer-program-like mix", Defaults},
 	{"fpstream", "streaming FP kernel: FP-heavy, miss-heavy, predictable branches", FPStream},
 	{"sharing", "coherence stress: store-heavy over a small resident set", Sharing},
+	{"producer-consumer", "read-dominant sharing over an L1-overflowing set (rewards E grants)", ProducerConsumer},
+	{"migratory", "one hot line at a time migrates between cores (rewards dirty forwarding)", Migratory},
+	{"false-sharing", "cores fight over the words of two lines they never truly share", FalseSharing},
 }
 
 // Presets lists the named parameter sets.
@@ -137,6 +207,7 @@ type gen struct {
 	seq       int64
 	missLine  uint64 // next cold line address
 	residents []uint64
+	migSeq    int64 // migratory accesses so far; line advances per burst
 
 	// Ring of recent destination registers per class, used to realize the
 	// dependence-distance distribution.
@@ -154,13 +225,22 @@ func New(p Params) trace.Generator {
 		rng:      rand.New(rand.NewSource(p.Seed)),
 		missLine: 1 << 30,
 	}
-	// A small resident working set: 64 lines ≈ 2 KB, comfortably inside
-	// the 16 KB L1.
-	for i := 0; i < 64; i++ {
+	// The resident working set: the classic 64 lines ≈ 2 KB (comfortably
+	// inside the 16 KB L1) unless the parameters size it explicitly.
+	lines := p.ResidentLines
+	if lines <= 0 {
+		lines = 64
+	}
+	for i := 0; i < lines; i++ {
 		g.residents = append(g.residents, uint64(isa.DefaultDataBase)+uint64(i*32))
 	}
 	return g
 }
+
+// migBurst is how many migratory accesses hit one line before the walk
+// advances — long enough for a core to take ownership and work, short
+// enough that lines keep moving.
+const migBurst = 48
 
 const loopLen = 64 // synthetic "loop body" length; PCs cycle mod loopLen
 
@@ -231,15 +311,25 @@ func (g *gen) pick() isa.Inst {
 	}
 }
 
-// address synthesizes an effective address: cold line (guaranteed miss) or a
-// resident one.
+// address synthesizes an effective address: the current migratory line,
+// a cold line (guaranteed miss) or a resident one. Every branch that is
+// off in the parameters draws nothing from the RNG, keeping pre-existing
+// parameter sets byte-identical.
 func (g *gen) address() uint64 {
+	if g.p.MigratoryFrac > 0 && g.rng.Float64() < g.p.MigratoryFrac {
+		g.migSeq++
+		return g.residents[int(g.migSeq/migBurst)%len(g.residents)]
+	}
 	if g.rng.Float64() < g.p.MissRatio {
 		a := g.missLine
 		g.missLine += 32 // next line; never revisited
 		return a
 	}
-	return g.residents[g.rng.Intn(len(g.residents))]
+	a := g.residents[g.rng.Intn(len(g.residents))]
+	if g.p.FalseShareWords > 1 {
+		a += uint64(g.rng.Intn(g.p.FalseShareWords)) * 8
+	}
+	return a
 }
 
 // freshInt/freshFP allocate destination registers round-robin through

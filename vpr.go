@@ -106,11 +106,17 @@ type (
 // single-thread pipeline with a private lockup-free L1, all cores stepped
 // in cycle-lockstep behind a banked finite shared L2 (internal/mem). Set
 // SharedAddressSpace to let cores share L2 lines, and Coherence to run
-// the MSI directory over them: stores then invalidate remote L1 copies
-// through an ownership/upgrade path, dirty remote lines are forwarded
-// over the bank bus, and the traffic surfaces as Stats.L2Invalidations /
-// L2Upgrades / L2WritebackForwards. With Coherence unset, runs are
-// byte-identical to the coherence-free hierarchy.
+// a directory protocol over them: stores then invalidate remote L1
+// copies through an ownership/upgrade path, dirty remote lines are
+// forwarded over the bank bus, and the traffic surfaces as
+// Stats.L2Invalidations / L2Upgrades / L2WritebackForwards. Protocol
+// selects the state machine — "msi" (the pinned default), "mesi" (silent
+// E→M upgrades, Stats.SilentUpgrades), or "moesi" (cache-to-cache dirty
+// forwarding, Stats.L2OwnerForwards) — and Directory the sharer
+// representation: "fullmap" (exact bitmask, ≤64 cores) or "limited:N"
+// (N pointers, broadcast on overflow, no core cap;
+// Stats.L2DirOverflows / L2DirBroadcasts). With Coherence unset, runs
+// are byte-identical to the coherence-free hierarchy.
 type (
 	MulticoreSpec   = sim.MulticoreSpec
 	MulticoreResult = sim.MulticoreResult
@@ -178,6 +184,34 @@ func ParseL2Geometry(s string) (sizeBytes, banks int, err error) {
 	}
 	return n * mult, banks, nil
 }
+
+// CoherenceProtocol is one registered coherence protocol state machine —
+// its declared transition table plus the decision hooks the memory
+// hierarchy consults (see internal/mem and internal/mem/conftest, whose
+// conformance harness checks every implementation against its table).
+type CoherenceProtocol = mem.Protocol
+
+// CoherenceProtocols lists the registered protocols, default (msi) first.
+func CoherenceProtocols() []CoherenceProtocol { return mem.Protocols() }
+
+// CoherenceProtocolByName resolves a -protocol selection ("msi", "mesi",
+// "moesi"; "" = msi).
+func CoherenceProtocolByName(name string) (CoherenceProtocol, error) {
+	return mem.ProtocolByName(name)
+}
+
+// DirectoryKindInfo describes one registered directory sharer
+// representation (-dir): "fullmap" is the exact bitmask capped at 64
+// cores; "limited" keeps N exact pointers and degrades overflowing sets
+// to broadcast, with no core cap.
+type DirectoryKindInfo = mem.DirectoryKindInfo
+
+// DirectoryKinds lists the registered representations, default first.
+func DirectoryKinds() []DirectoryKindInfo { return mem.DirectoryKinds() }
+
+// ParseDirectoryKind validates a -dir selection ("fullmap",
+// "limited[:N]"; "" = fullmap) without building anything.
+func ParseDirectoryKind(kind string) error { return mem.ParseDirectoryKind(kind) }
 
 // MemStats are the memory-hierarchy counters a Memory port accumulates
 // (pipeline.Stats carries the per-run view; this is the raw form the
